@@ -1,0 +1,20 @@
+"""Fig 4: vary k0 — query time (and page reads in extra_info).
+
+The paper varies k0 in {3, 10, 30, 100} with the missing object at
+rank 5*k0+1.  The benchmark dataset (1,500 objects) hosts all four
+points; BS is skipped where its candidate space exceeds the cap.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+K0_VALUES = (3, 10, 30, 100)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k0", K0_VALUES)
+def test_fig04(benchmark, harness, k0, method):
+    case = harness.case("fig4", k0=k0, n_keywords=4, alpha=0.5, lam=0.5)
+    run_benchmark(benchmark, harness, case, method, group=f"fig4 k0={k0}")

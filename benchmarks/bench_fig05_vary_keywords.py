@@ -1,0 +1,24 @@
+"""Fig 5: vary the number of initial query keywords in {2, 4, 6, 8}.
+
+The candidate space grows exponentially with the keyword count, which
+is exactly the effect the figure demonstrates: BS's time explodes
+(and is skipped past the cap) while AdvancedBS and KcRBased stay flat.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+KEYWORD_COUNTS = (2, 4, 6, 8)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_fig05(benchmark, harness, n_keywords, method):
+    case = harness.case(
+        "fig5", k0=10, n_keywords=n_keywords, alpha=0.5, lam=0.5
+    )
+    run_benchmark(
+        benchmark, harness, case, method, group=f"fig5 keywords={n_keywords}"
+    )

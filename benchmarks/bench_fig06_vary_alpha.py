@@ -1,0 +1,19 @@
+"""Fig 6: vary the spatial/textual preference alpha in {0.1 .. 0.9}.
+
+Small alpha weakens the R-tree's spatial pruning (more I/O); the paper
+observes medium alpha is cheapest in time.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig06(benchmark, harness, alpha, method):
+    case = harness.case("fig6", k0=10, n_keywords=4, alpha=alpha, lam=0.5)
+    run_benchmark(benchmark, harness, case, method, group=f"fig6 alpha={alpha}")

@@ -1,0 +1,20 @@
+"""Fig 7: vary the penalty preference lambda in {0.1 .. 0.9}.
+
+BS ignores lambda (it prunes nothing); the optimized algorithms start
+from incumbent penalty = lambda, so smaller lambda prunes harder and
+their cost grows with lambda.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+LAMBDAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+def test_fig07(benchmark, harness, lam, method):
+    case = harness.case("fig7", k0=10, n_keywords=4, alpha=0.5, lam=lam)
+    run_benchmark(benchmark, harness, case, method, group=f"fig7 lambda={lam}")

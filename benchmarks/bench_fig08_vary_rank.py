@@ -1,0 +1,22 @@
+"""Fig 8: vary the missing object's initial rank in {31, 51, 101, 151, 201}.
+
+The initial query stays a top-10 query; only the why-not target moves
+deeper.  BS is highly sensitive (every candidate search must dig to
+the missing object's rank); the optimized algorithms barely move.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+RANKS = (31, 51, 101, 151, 201)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("rank", RANKS)
+def test_fig08(benchmark, harness, rank, method):
+    case = harness.case(
+        "fig8", k0=10, n_keywords=4, alpha=0.5, lam=0.5, rank_target=rank
+    )
+    run_benchmark(benchmark, harness, case, method, group=f"fig8 rank={rank}")

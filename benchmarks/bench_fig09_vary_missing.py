@@ -1,0 +1,31 @@
+"""Fig 9: vary the number of missing objects in {1, 2, 3, 4}.
+
+Missing objects are drawn from ranks 11-51 of a top-10, 4-keyword
+query (the paper's protocol); the candidate space is the union of all
+missing documents, so cost grows sharply with |M|.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+MISSING_COUNTS = (1, 2, 3, 4)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n_missing", MISSING_COUNTS)
+def test_fig09(benchmark, harness, n_missing, method):
+    case = harness.case(
+        "fig9",
+        k0=10,
+        n_keywords=4,
+        alpha=0.5,
+        lam=0.5,
+        n_missing=n_missing,
+        missing_rank_range=(11, 51),
+        max_extra_keywords=3,
+    )
+    run_benchmark(
+        benchmark, harness, case, method, group=f"fig9 missing={n_missing}"
+    )

@@ -1,0 +1,26 @@
+"""Fig 10: parallel processing with 1-8 (simulated) threads.
+
+Elapsed time is the list-scheduling makespan over measured
+per-candidate costs with a shared incumbent penalty — the substitution
+for Java threads documented in DESIGN.md.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+THREADS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("method", ("parallel-advanced", "parallel-kcr"))
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_fig10(benchmark, harness, n_threads, method):
+    case = harness.case("fig10", k0=10, n_keywords=4, alpha=0.5, lam=0.5)
+    run_benchmark(
+        benchmark,
+        harness,
+        case,
+        method,
+        group=f"fig10 threads={n_threads}",
+        n_threads=n_threads,
+    )

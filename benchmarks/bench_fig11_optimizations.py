@@ -1,0 +1,30 @@
+"""Fig 11: pruning abilities of the individual optimizations.
+
+BS against each single optimization (Opt1 early stop, Opt2 enumeration
+order, Opt3 keyword-set filtering) and the full AdvancedBS.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+CONFIGS = {
+    "BS": {"early_stop": False, "ordering": False, "filtering": False},
+    "BS+Opt1": {"early_stop": True, "ordering": False, "filtering": False},
+    "BS+Opt2": {"early_stop": False, "ordering": True, "filtering": False},
+    "BS+Opt3": {"early_stop": False, "ordering": False, "filtering": True},
+    "AdvancedBS": {"early_stop": True, "ordering": True, "filtering": True},
+}
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_fig11(benchmark, harness, config):
+    case = harness.case("fig11", k0=10, n_keywords=4, alpha=0.5, lam=0.5)
+    run_benchmark(
+        benchmark,
+        harness,
+        case,
+        "advanced",
+        group="fig11 optimizations",
+        **CONFIGS[config],
+    )

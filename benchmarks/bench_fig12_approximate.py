@@ -1,0 +1,39 @@
+"""Fig 12: the approximate algorithm — time (and penalty in
+extra_info) versus sample size, against the exact reference.
+
+The paper's setup: a top-10 query with 8 keywords.  The benchmark
+scales the sample-size axis to the shared dataset's candidate-space
+size while keeping the paper's geometric spacing.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+SAMPLE_SIZES = (25, 50, 100, 200)
+STRATEGIES = ("bs", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("sample_size", SAMPLE_SIZES)
+def test_fig12_approximate(benchmark, harness, sample_size, strategy):
+    case = harness.case(
+        "fig12", k0=10, n_keywords=8, alpha=0.5, lam=0.5, max_extra_keywords=4
+    )
+    run_benchmark(
+        benchmark,
+        harness,
+        case,
+        "approximate",
+        group=f"fig12 T={sample_size}",
+        sample_size=sample_size,
+        strategy=strategy,
+    )
+
+
+@pytest.mark.parametrize("method", ("advanced", "kcr"))
+def test_fig12_exact_reference(benchmark, harness, method):
+    case = harness.case(
+        "fig12", k0=10, n_keywords=8, alpha=0.5, lam=0.5, max_extra_keywords=4
+    )
+    run_benchmark(benchmark, harness, case, method, group="fig12 exact")

@@ -1,0 +1,36 @@
+"""Fig 13: scalability over GN-like datasets of increasing cardinality.
+
+The paper samples subsets of GN; cost should grow near-linearly with
+dataset size for all algorithms.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+METHODS = ("basic", "advanced", "kcr")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("size", SIZES)
+def test_fig13(benchmark, harness, size, method):
+    case = harness.case(
+        f"fig13-{size}",
+        kind="gn",
+        size=size,
+        k0=10,
+        n_keywords=3,
+        alpha=0.5,
+        lam=0.5,
+        max_extra_keywords=3,
+    )
+    run_benchmark(
+        benchmark,
+        harness,
+        case,
+        method,
+        group=f"fig13 n={size}",
+        kind="gn",
+        size=size,
+    )

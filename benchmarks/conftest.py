@@ -1,0 +1,104 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite mirrors the experiment harness at a reduced,
+fixed scale so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes: one EURO-like dataset of 1,500 objects (GN-like subsets for
+the scalability benches), one query per data point, and the same
+Table III parameter semantics as the full harness.  For
+publication-shaped numbers run the CLI harness instead
+(``repro-whynot experiment all --scale default``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro import WhyNotEngine, make_euro_like, make_gn_like
+from repro.experiments.workload import WorkloadCase, WorkloadGenerator
+
+BENCH_SEED = 2016
+BS_CANDIDATE_CAP = 5_000  # skip BS beyond this candidate-space size
+
+
+class BenchHarness:
+    """Workload cache + single-run executor for benchmark functions."""
+
+    def __init__(self) -> None:
+        self._engines: Dict[Tuple[str, int], WhyNotEngine] = {}
+        self._cases: Dict[tuple, WorkloadCase] = {}
+
+    def engine(self, kind: str = "euro", size: int = 1500) -> WhyNotEngine:
+        key = (kind, size)
+        if key not in self._engines:
+            maker = make_euro_like if kind == "euro" else make_gn_like
+            dataset, _ = maker(size, seed=BENCH_SEED)
+            engine = WhyNotEngine(dataset)
+            # Force both indexes to build outside the timed region.
+            _ = engine.setr_tree
+            _ = engine.kcr_tree
+            self._engines[key] = engine
+        return self._engines[key]
+
+    def case(
+        self,
+        tag: str,
+        *,
+        kind: str = "euro",
+        size: int = 1500,
+        **params,
+    ) -> WorkloadCase:
+        key = (tag, kind, size, tuple(sorted(params.items())))
+        if key not in self._cases:
+            engine = self.engine(kind, size)
+            generator = WorkloadGenerator(
+                engine.dataset, seed=BENCH_SEED + hash(key) % 10_000
+            )
+            params.setdefault("max_extra_keywords", 4)
+            self._cases[key] = generator.generate(1, **params)[0]
+        return self._cases[key]
+
+    def run(
+        self,
+        case: WorkloadCase,
+        method: str,
+        *,
+        kind: str = "euro",
+        size: int = 1500,
+        **options,
+    ):
+        """One cold-buffer why-not query — the benchmarked unit."""
+        engine = self.engine(kind, size)
+        engine.reset_buffers()
+        return engine.answer(case.question, method=method, **options)
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchHarness:
+    return BenchHarness()
+
+
+def run_benchmark(benchmark, harness, case, method, group, **run_kwargs):
+    """Standard single-shot benchmark wrapper.
+
+    Records the paper's second metric (page reads) and the penalty in
+    ``extra_info`` so the printed table carries the same columns the
+    figures plot.
+    """
+    if method == "basic" and case.candidate_space > BS_CANDIDATE_CAP:
+        pytest.skip(
+            f"BS skipped: candidate space {case.candidate_space} exceeds "
+            f"the benchmark cap {BS_CANDIDATE_CAP} (see DESIGN.md)"
+        )
+    benchmark.group = group
+    answer = benchmark.pedantic(
+        lambda: harness.run(case, method, **run_kwargs),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["page_reads"] = answer.io.page_reads
+    benchmark.extra_info["penalty"] = round(answer.refined.penalty, 6)
+    benchmark.extra_info["initial_rank"] = answer.initial_rank
+    return answer

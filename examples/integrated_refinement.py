@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Extension demo: keyword adaption vs α-refinement vs the integrated
+framework (the paper's future-work sketch).
+
+For a batch of why-not questions this script answers each three ways —
+adapting the keywords (the paper's contribution), adapting the
+spatial/textual preference α (the authors' earlier approach), and the
+integrated framework that picks whichever axis penalises less — and
+tabulates when each axis wins.
+
+Run:  python examples/integrated_refinement.py
+"""
+
+import numpy as np
+
+from repro import (
+    Oracle,
+    SpatialKeywordQuery,
+    WhyNotEngine,
+    WhyNotQuestion,
+    make_euro_like,
+)
+
+
+def draw_questions(dataset, oracle, n=8, seed=55):
+    rng = np.random.default_rng(seed)
+    questions = []
+    while len(questions) < n:
+        seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(seed_obj.doc)[:3])
+        if len(doc) < 2:
+            continue
+        query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5, alpha=0.5)
+        try:
+            missing = oracle.object_at_rank(query, 26)
+        except ValueError:
+            continue
+        if len(dataset.get(missing).doc - query.doc) > 5:
+            continue
+        questions.append(WhyNotQuestion(query, (missing,), lam=0.5))
+    return questions
+
+
+def main() -> None:
+    dataset, vocabulary = make_euro_like(3000, seed=21)
+    engine = WhyNotEngine(dataset)
+    oracle = Oracle(dataset)
+    questions = draw_questions(dataset, oracle)
+
+    print(f"{'#':>2}  {'keyword':>8}  {'alpha':>8}  {'integrated':>10}  winner")
+    print("-" * 52)
+    keyword_wins = alpha_wins = 0
+    for i, question in enumerate(questions):
+        kw = engine.answer(question, method="kcr").refined.penalty
+        al = engine.answer(question, method="alpha").refined.penalty
+        integrated = engine.answer(question, method="integrated")
+        winner = integrated.algorithm.split("(", 1)[1].rstrip(")")
+        if kw <= al:
+            keyword_wins += 1
+        else:
+            alpha_wins += 1
+        print(
+            f"{i:>2}  {kw:>8.4f}  {al:>8.4f}  "
+            f"{integrated.refined.penalty:>10.4f}  {winner}"
+        )
+    print("-" * 52)
+    print(
+        f"keyword adaption wins {keyword_wins}/{len(questions)}, "
+        f"alpha refinement wins {alpha_wins}/{len(questions)}"
+    )
+    print(
+        "\nKeyword adaption usually wins (it has exponentially many "
+        "refinement candidates to choose from), but when the missing "
+        "object is near-dominant on one score axis a small alpha shift "
+        "is cheaper - exactly the complementarity the integrated "
+        "framework exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+predates wheel-less PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

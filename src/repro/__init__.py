@@ -1,0 +1,157 @@
+"""repro — Why-not spatial keyword top-k queries via keyword adaption.
+
+A full reproduction of Chen, Xu, Lin, Jensen & Hu,
+"Answering Why-Not Spatial Keyword Top-k Queries via Keyword Adaption"
+(ICDE 2016): the SetR-tree and KcR-tree hybrid indexes over a simulated
+disk, the BS / AdvancedBS / KcRBased why-not algorithms, the
+multiple-missing-object extension, the sampling-based approximate
+algorithm, and an experiment harness regenerating every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import make_euro_like, WhyNotEngine, SpatialKeywordQuery, WhyNotQuestion
+
+    dataset, vocabulary = make_euro_like(5000, seed=7)
+    engine = WhyNotEngine(dataset)
+    query = SpatialKeywordQuery(loc=(0.4, 0.6), doc=vocabulary.encode(["term_1", "term_5"]), k=10)
+    missing_oid = engine.top_k(query.with_k(51))[-1][1]
+    answer = engine.answer(WhyNotQuestion(query, (missing_oid,)), method="kcr")
+    print(answer.refined.describe(vocabulary))
+"""
+
+from .core import (
+    AdvancedAlgorithm,
+    AlphaRefinementAlgorithm,
+    ApproximateAlgorithm,
+    IntegratedAlgorithm,
+    BasicAlgorithm,
+    Candidate,
+    CandidateEnumerator,
+    DominatorCache,
+    KcRAlgorithm,
+    ParallelAdvanced,
+    ParallelKcR,
+    ParticularityIndex,
+    PenaltyModel,
+    QuestionContext,
+    RefinedQuery,
+    SearchCounters,
+    WhyNotAnswer,
+    WhyNotEngine,
+)
+from .core import (
+    Blocker,
+    LocationRefinementAlgorithm,
+    MissingProfile,
+    ReverseKeywordSearch,
+    ReverseMatch,
+    ReverseSearchReport,
+    WhyNotExplanation,
+    explain,
+)
+from .data import (
+    Vocabulary,
+    load_dataset,
+    load_flatfile,
+    make_euro_like,
+    make_gn_like,
+    make_micro_example,
+    normalize_keywords,
+    save_dataset,
+    save_flatfile,
+    tokenize,
+)
+from .errors import (
+    DatasetError,
+    IndexStructureError,
+    InvalidParameterError,
+    InvalidQueryError,
+    MissingObjectError,
+    ReproError,
+    StorageError,
+)
+from .index import (
+    InvertedFileIndex,
+    KcRTree,
+    RankResult,
+    SetRTree,
+    TopKSearcher,
+    load_index,
+    save_index,
+)
+from .model import (
+    Dataset,
+    Oracle,
+    Scorer,
+    SpatialKeywordQuery,
+    SpatialObject,
+    WhyNotQuestion,
+)
+from .storage import BufferPool, IOSnapshot, IOStatistics, Pager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvancedAlgorithm",
+    "AlphaRefinementAlgorithm",
+    "IntegratedAlgorithm",
+    "ApproximateAlgorithm",
+    "BasicAlgorithm",
+    "Candidate",
+    "CandidateEnumerator",
+    "DominatorCache",
+    "KcRAlgorithm",
+    "ParallelAdvanced",
+    "ParallelKcR",
+    "ParticularityIndex",
+    "PenaltyModel",
+    "QuestionContext",
+    "RefinedQuery",
+    "SearchCounters",
+    "WhyNotAnswer",
+    "WhyNotEngine",
+    "Vocabulary",
+    "load_dataset",
+    "make_euro_like",
+    "make_gn_like",
+    "make_micro_example",
+    "save_dataset",
+    "load_flatfile",
+    "save_flatfile",
+    "normalize_keywords",
+    "tokenize",
+    "LocationRefinementAlgorithm",
+    "InvertedFileIndex",
+    "Blocker",
+    "MissingProfile",
+    "WhyNotExplanation",
+    "explain",
+    "ReverseKeywordSearch",
+    "ReverseMatch",
+    "ReverseSearchReport",
+    "DatasetError",
+    "IndexStructureError",
+    "InvalidParameterError",
+    "InvalidQueryError",
+    "MissingObjectError",
+    "ReproError",
+    "StorageError",
+    "KcRTree",
+    "RankResult",
+    "SetRTree",
+    "TopKSearcher",
+    "save_index",
+    "load_index",
+    "Dataset",
+    "Oracle",
+    "Scorer",
+    "SpatialKeywordQuery",
+    "SpatialObject",
+    "WhyNotQuestion",
+    "BufferPool",
+    "IOSnapshot",
+    "IOStatistics",
+    "Pager",
+    "__version__",
+]

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-whynot datasets   [--scale default]        # Table II
+    repro-whynot params                              # Table III
+    repro-whynot experiment fig4 [--scale smoke] [-o out.md]
+    repro-whynot experiment all  [--scale default] [-o EXPERIMENTS_RESULTS.md]
+    repro-whynot demo       [--size 2000 --seed 7]   # end-to-end example
+
+(Also runnable as ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments.ablations import ABLATIONS, run_ablation
+from .experiments.config import PARAMETER_GRID, SCALES
+from .experiments.figures import FIGURES, run_figure, table2_dataset_info
+from .experiments.reporting import figure_to_markdown, figure_to_text, rows_to_table
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = table2_dataset_info(SCALES[args.scale])
+    print("Table II substitute: generated dataset statistics")
+    print(rows_to_table(rows))
+    return 0
+
+
+def _cmd_params(_args: argparse.Namespace) -> int:
+    print("Table III: parameter settings (defaults marked *)")
+    defaults = {
+        "k0": 10,
+        "n_keywords": 4,
+        "alpha": 0.5,
+        "rank_target": 51,
+        "lam": 0.5,
+        "n_missing": 1,
+    }
+    rows = []
+    for name, values in PARAMETER_GRID.items():
+        default = defaults.get(name)
+        rendered = ", ".join(
+            f"{v}*" if v == default else str(v) for v in values
+        )
+        rows.append({"parameter": name, "settings": rendered})
+    print(rows_to_table(rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.figure == "all":
+        names: List[str] = sorted(FIGURES)
+    elif args.figure == "ablations":
+        names = sorted(ABLATIONS)
+    else:
+        names = [args.figure]
+    known = set(FIGURES) | set(ABLATIONS)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"unknown figure(s): {unknown}; choose from {sorted(known)}, "
+            "'all', or 'ablations'"
+        )
+        return 2
+    markdown_chunks: List[str] = []
+    for name in names:
+        started = time.perf_counter()
+        if name in FIGURES:
+            result = run_figure(name, args.scale)
+        else:
+            result = run_ablation(name, args.scale)
+        elapsed = time.perf_counter() - started
+        print(figure_to_text(result))
+        if args.chart:
+            from .experiments.charts import figure_chart
+
+            print()
+            print(figure_chart(result, "time"))
+            print()
+            print(figure_chart(result, "ios"))
+        print(f"   [{name} regenerated in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+        markdown_chunks.append(figure_to_markdown(result))
+    if args.output:
+        Path(args.output).write_text(
+            "\n\n".join(markdown_chunks) + "\n", encoding="utf-8"
+        )
+        print(f"markdown written to {args.output}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    """Profile the optimal refinements across the λ sweep."""
+    from .experiments.quality import profile_quality, quality_report_rows
+
+    profiles = profile_quality(SCALES[args.scale])
+    print("Result-quality profile of optimal refinements (exact KcRBased answers)")
+    print(rows_to_table(quality_report_rows(profiles)))
+    print(
+        "\nkeyword_edit_win_rate: fraction of why-not questions where "
+        "editing keywords strictly beats enlarging k alone."
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Cross-check every exact algorithm against brute force."""
+    import numpy as np
+
+    from . import (
+        MissingObjectError,
+        Oracle,
+        PenaltyModel,
+        SpatialKeywordQuery,
+        WhyNotEngine,
+        WhyNotQuestion,
+        make_euro_like,
+    )
+    from .core.candidates import CandidateEnumerator
+
+    dataset, _ = make_euro_like(args.size, seed=args.seed)
+    engine = WhyNotEngine(dataset)
+    oracle = Oracle(dataset)
+    rng = np.random.default_rng(args.seed)
+
+    passed = 0
+    attempted = 0
+    while passed < args.trials and attempted < 50 * args.trials:
+        attempted += 1
+        seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(seed_obj.doc)[:3])
+        if len(doc) < 2:
+            continue
+        query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5)
+        try:
+            missing = oracle.object_at_rank(query, 21)
+        except ValueError:
+            continue
+        if len(dataset.get(missing).doc - query.doc) > 5:
+            continue
+        question = WhyNotQuestion(query, (missing,), lam=0.5)
+
+        missing_doc = dataset.get(missing).doc
+        initial_rank = oracle.rank(missing, query)
+        pm = PenaltyModel(
+            k0=query.k,
+            initial_rank=initial_rank,
+            doc_universe_size=len(query.doc | missing_doc),
+            lam=question.lam,
+        )
+        best = pm.basic_penalty
+        for candidate in CandidateEnumerator(query.doc, missing_doc).iter_naive():
+            rank = oracle.rank(missing, query, candidate.keywords)
+            best = min(best, pm.penalty(candidate.delta_doc, rank))
+
+        answers = {
+            method: engine.answer(question, method=method).refined.penalty
+            for method in ("basic", "advanced", "kcr")
+        }
+        ok = all(abs(p - best) < 1e-9 for p in answers.values())
+        status = "OK " if ok else "FAIL"
+        print(
+            f"[{status}] trial {passed}: brute-force optimum {best:.4f}, "
+            + ", ".join(f"{m}={p:.4f}" for m, p in answers.items())
+        )
+        if not ok:
+            return 1
+        passed += 1
+    print(f"{passed}/{args.trials} trials verified against brute force")
+    return 0 if passed == args.trials else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import (
+        Oracle,
+        SpatialKeywordQuery,
+        WhyNotEngine,
+        WhyNotQuestion,
+        make_euro_like,
+    )
+
+    dataset, vocabulary = make_euro_like(args.size, seed=args.seed)
+    engine = WhyNotEngine(dataset)
+    oracle = Oracle(dataset)
+    seed_obj = dataset.objects[args.seed % len(dataset)]
+    keywords = frozenset(list(seed_obj.doc)[:3])
+    query = SpatialKeywordQuery(loc=seed_obj.loc, doc=keywords, k=5)
+    print(f"initial query: keywords={vocabulary.decode(keywords)} k=5")
+    print("top-5 result:", engine.top_k(query))
+    missing = oracle.object_at_rank(query, 26)
+    print(f"missing object: oid={missing} (rank 26 under the initial query)")
+    question = WhyNotQuestion(query, (missing,), lam=0.5)
+    for method in ("basic", "advanced", "kcr"):
+        answer = engine.answer(question, method=method)
+        print(
+            f"{answer.algorithm:>11}: {answer.refined.describe(vocabulary)} "
+            f"[{answer.elapsed_seconds * 1000:.1f} ms, {answer.io.page_reads} page reads]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-whynot",
+        description="Why-not spatial keyword top-k queries via keyword adaption "
+        "(ICDE 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="Table II dataset statistics")
+    p_datasets.add_argument("--scale", default="default", choices=sorted(SCALES))
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_params = sub.add_parser("params", help="Table III parameter grid")
+    p_params.set_defaults(func=_cmd_params)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a figure ('all') or ablation ('ablations')"
+    )
+    p_exp.add_argument(
+        "figure", help="fig4..fig13, ablation-*, 'all', or 'ablations'"
+    )
+    p_exp.add_argument("--scale", default="default", choices=sorted(SCALES))
+    p_exp.add_argument("-o", "--output", help="also write Markdown here")
+    p_exp.add_argument(
+        "--chart", action="store_true", help="draw terminal bar charts too"
+    )
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_demo = sub.add_parser("demo", help="end-to-end why-not demo")
+    p_demo.add_argument("--size", type=int, default=2000)
+    p_demo.add_argument("--seed", type=int, default=7)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_quality = sub.add_parser(
+        "quality", help="profile optimal refinements across lambda"
+    )
+    p_quality.add_argument("--scale", default="default", choices=sorted(SCALES))
+    p_quality.set_defaults(func=_cmd_quality)
+
+    p_verify = sub.add_parser(
+        "verify", help="cross-check all exact algorithms against brute force"
+    )
+    p_verify.add_argument("--size", type=int, default=800)
+    p_verify.add_argument("--seed", type=int, default=11)
+    p_verify.add_argument("--trials", type=int, default=5)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

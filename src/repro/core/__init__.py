@@ -1,0 +1,54 @@
+"""The paper's contribution: keyword-adapted why-not query answering."""
+
+from .advanced import AdvancedAlgorithm
+from .alpha_refinement import AlphaRefinementAlgorithm, IntegratedAlgorithm
+from .approximate import ApproximateAlgorithm
+from .basic import BasicAlgorithm
+from .bounds import DominationThresholds, NodeTextStats, max_dom, min_dom
+from .candidates import Candidate, CandidateEnumerator
+from .context import QuestionContext
+from .dominator_cache import DominatorCache
+from .engine import METHODS, WhyNotEngine
+from .explain import Blocker, MissingProfile, WhyNotExplanation, explain
+from .kcr_algorithm import KcRAlgorithm
+from .location_refinement import LocationRefinementAlgorithm
+from .parallel import ParallelAdvanced, ParallelKcR, makespan
+from .particularity import ParticularityIndex
+from .penalty import PenaltyModel
+from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+from .reverse import ReverseKeywordSearch, ReverseMatch, ReverseSearchReport
+
+__all__ = [
+    "AdvancedAlgorithm",
+    "AlphaRefinementAlgorithm",
+    "IntegratedAlgorithm",
+    "ApproximateAlgorithm",
+    "BasicAlgorithm",
+    "DominationThresholds",
+    "NodeTextStats",
+    "max_dom",
+    "min_dom",
+    "Candidate",
+    "CandidateEnumerator",
+    "QuestionContext",
+    "DominatorCache",
+    "WhyNotEngine",
+    "METHODS",
+    "Blocker",
+    "MissingProfile",
+    "WhyNotExplanation",
+    "explain",
+    "KcRAlgorithm",
+    "LocationRefinementAlgorithm",
+    "ParallelAdvanced",
+    "ParallelKcR",
+    "makespan",
+    "ParticularityIndex",
+    "PenaltyModel",
+    "RefinedQuery",
+    "SearchCounters",
+    "WhyNotAnswer",
+    "ReverseKeywordSearch",
+    "ReverseMatch",
+    "ReverseSearchReport",
+]

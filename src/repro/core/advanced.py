@@ -1,0 +1,148 @@
+"""The optimized basic algorithm (**AdvancedBS**, Algorithm 1).
+
+Adds the three Section IV-C optimizations on top of BS, each
+independently switchable so the Fig 11 ablation can isolate them:
+
+* **Opt1 — early stop.**  Eqn 6 turns the incumbent penalty into the
+  largest rank a candidate could reach while still improving; the
+  per-candidate index search aborts once that many dominators are seen.
+* **Opt2 — enumeration order.**  Candidates ascend by edit distance
+  with ties broken by descending particularity gain (Eqn 7), which
+  finds small penalties early *and* licenses terminating the whole
+  enumeration once the keyword penalty alone reaches the incumbent
+  (Algorithm 1 lines 6–7).
+* **Opt3 — keyword set filtering.**  Dominators discovered by earlier
+  searches are cached; if enough of them already dominate under a new
+  candidate, the candidate is pruned without any index access
+  (Algorithm 1 lines 10–13).
+
+Opt4 (parallel processing) lives in :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..index.setr_tree import SetRTree
+from ..model.query import WhyNotQuestion
+from ..model.similarity import JACCARD, SimilarityModel
+from .context import QuestionContext
+from .dominator_cache import DominatorCache
+from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+
+__all__ = ["AdvancedAlgorithm"]
+
+
+class AdvancedAlgorithm:
+    """AdvancedBS: Algorithm 1 with switchable optimizations."""
+
+    def __init__(
+        self,
+        tree: SetRTree,
+        model: SimilarityModel = JACCARD,
+        *,
+        early_stop: bool = True,
+        ordering: bool = True,
+        filtering: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.model = model
+        self.early_stop = early_stop
+        self.ordering = ordering
+        self.filtering = filtering
+
+    @property
+    def name(self) -> str:
+        if self.early_stop and self.ordering and self.filtering:
+            return "AdvancedBS"
+        tags = [
+            tag
+            for enabled, tag in (
+                (self.early_stop, "Opt1"),
+                (self.ordering, "Opt2"),
+                (self.filtering, "Opt3"),
+            )
+            if enabled
+        ]
+        return "BS+" + "+".join(tags) if tags else "BS"
+
+    def answer(self, question: WhyNotQuestion) -> WhyNotAnswer:
+        """Return the best refined query for ``question``."""
+        started = time.perf_counter()
+        io_before = self.tree.stats.snapshot()
+        context = QuestionContext.prepare(question, self.tree, self.model)
+        counters = SearchCounters()
+        penalty_model = context.penalty_model
+
+        best = context.basic_refined()
+        cache: Optional[DominatorCache] = None
+        if self.filtering:
+            cache = DominatorCache(
+                context.dataset, context.query, context.missing, self.model
+            )
+
+        candidates = (
+            context.enumerator.iter_paper_order()
+            if self.ordering
+            else context.enumerator.iter_naive()
+        )
+        for candidate in candidates:
+            counters.candidates_enumerated += 1
+
+            # Algorithm 1 lines 6-7: the keyword penalty alone already
+            # matches the incumbent.  Under the paper order Δdoc is
+            # non-decreasing, so no later candidate can recover: stop
+            # the enumeration.  Under the naive order just skip.
+            if penalty_model.keyword_penalty(candidate.delta_doc) >= best.penalty:
+                counters.pruned_by_keyword_penalty += 1
+                if self.ordering:
+                    break
+                continue
+
+            stop_limit = penalty_model.max_useful_rank(
+                best.penalty, candidate.delta_doc
+            )
+            assert stop_limit is not None  # keyword-penalty prune handled above
+
+            # Opt3: count cached dominators that survive the keyword
+            # change; if the rank bound is already unreachable, prune
+            # without touching the index (Algorithm 1 lines 10-13).
+            if cache is not None:
+                survivors = cache.count_dominating(candidate.keywords, stop_limit)
+                if survivors >= stop_limit:
+                    counters.pruned_by_cache += 1
+                    continue
+
+            counters.candidates_evaluated += 1
+            result = context.searcher.rank_of_missing(
+                context.query,
+                context.missing,
+                keywords=candidate.keywords,
+                stop_limit=stop_limit if self.early_stop else None,
+            )
+            if cache is not None:
+                cache.add(result.dominators)
+            if result.aborted:
+                counters.aborted_early += 1
+                continue
+            rank = result.rank
+            assert rank is not None
+            penalty = penalty_model.penalty(candidate.delta_doc, rank)
+            if penalty < best.penalty:
+                best = RefinedQuery(
+                    keywords=candidate.keywords,
+                    k=penalty_model.refined_k(rank),
+                    delta_doc=candidate.delta_doc,
+                    rank=rank,
+                    penalty=penalty,
+                )
+
+        return WhyNotAnswer(
+            refined=best,
+            initial_rank=context.initial_rank,
+            algorithm=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            io=self.tree.stats.snapshot() - io_before,
+            counters=counters,
+        )

@@ -1,0 +1,192 @@
+"""The sampling-based approximate algorithm (Section VI-B).
+
+When ``|doc₀ ∪ M.doc|`` is large the candidate space is too big even
+for the optimized algorithms.  The approximate algorithm evaluates
+only a sample of ``T`` candidate keyword sets — the ``T`` with the
+highest total particularity with respect to the missing objects, per
+the paper's greedy sampling strategy — and returns the best refined
+query within the sample (the basic refined query remains the
+incumbent, so the answer is never worse than penalty ``λ``).
+
+Any of the three exact machineries can process the sample; the paper's
+Fig 12 runs all of them and observes identical penalties (same sample,
+same best) with different runtimes, which this implementation
+reproduces via the ``strategy`` knob.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..errors import InvalidParameterError
+from ..index.kcr_tree import KcRTree
+from ..index.setr_tree import SetRTree
+from ..model.query import WhyNotQuestion
+from ..model.similarity import JACCARD, SimilarityModel
+from .candidates import Candidate
+from .context import QuestionContext
+from .dominator_cache import DominatorCache
+from .kcr_algorithm import KcRAlgorithm
+from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+
+__all__ = ["ApproximateAlgorithm"]
+
+_STRATEGIES = ("bs", "advanced", "kcr")
+
+
+class ApproximateAlgorithm:
+    """Sample-``T`` approximate answering with a pluggable evaluator.
+
+    Parameters
+    ----------
+    tree:
+        A :class:`SetRTree` for the ``"bs"``/``"advanced"`` strategies
+        or a :class:`KcRTree` for ``"kcr"``.
+    sample_size:
+        ``T`` — how many candidate keyword sets to evaluate.
+    strategy:
+        Which exact machinery processes the sample.
+    """
+
+    def __init__(
+        self,
+        tree,
+        sample_size: int,
+        strategy: str = "kcr",
+        model: SimilarityModel = JACCARD,
+    ) -> None:
+        if sample_size <= 0:
+            raise InvalidParameterError(
+                f"sample size must be positive, got {sample_size}"
+            )
+        if strategy not in _STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+            )
+        if strategy == "kcr" and not isinstance(tree, KcRTree):
+            raise InvalidParameterError("the 'kcr' strategy needs a KcRTree")
+        if strategy in ("bs", "advanced") and not isinstance(tree, SetRTree):
+            raise InvalidParameterError(f"the {strategy!r} strategy needs a SetRTree")
+        self.tree = tree
+        self.sample_size = sample_size
+        self.strategy = strategy
+        self.model = model
+
+    @property
+    def name(self) -> str:
+        return f"Approx-{self.strategy.upper()}(T={self.sample_size})"
+
+    def answer(self, question: WhyNotQuestion) -> WhyNotAnswer:
+        """Best refined query within the particularity-greedy sample."""
+        started = time.perf_counter()
+        io_before = self.tree.stats.snapshot()
+        context = QuestionContext.prepare(question, self.tree, self.model)
+        counters = SearchCounters()
+
+        sample = context.enumerator.top_by_gain(self.sample_size)
+        counters.candidates_enumerated = len(sample)
+        best = context.basic_refined()
+
+        if self.strategy == "kcr":
+            best = self._evaluate_kcr(context, sample, best, counters)
+        else:
+            best = self._evaluate_sequential(context, sample, best, counters)
+
+        return WhyNotAnswer(
+            refined=best,
+            initial_rank=context.initial_rank,
+            algorithm=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            io=self.tree.stats.snapshot() - io_before,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluators
+    # ------------------------------------------------------------------
+    def _evaluate_kcr(
+        self,
+        context: QuestionContext,
+        sample: Sequence[Candidate],
+        best: RefinedQuery,
+        counters: SearchCounters,
+    ) -> RefinedQuery:
+        """One Algorithm 3 traversal per edit-distance group.
+
+        Grouping keeps the Algorithm 4 early-termination licence: once
+        the keyword penalty of the next group reaches the incumbent, no
+        remaining sample can win.
+        """
+        algorithm = KcRAlgorithm(self.tree, self.model)
+        by_distance: dict = {}
+        for candidate in sample:
+            by_distance.setdefault(candidate.delta_doc, []).append(candidate)
+        for distance in sorted(by_distance):
+            if context.penalty_model.keyword_penalty(distance) >= best.penalty:
+                break
+            best = algorithm._bound_and_prune(
+                context, by_distance[distance], best, counters
+            )
+        return best
+
+    def _evaluate_sequential(
+        self,
+        context: QuestionContext,
+        sample: Sequence[Candidate],
+        best: RefinedQuery,
+        counters: SearchCounters,
+    ) -> RefinedQuery:
+        """BS-style (or AdvancedBS-style) per-candidate evaluation."""
+        penalty_model = context.penalty_model
+        use_optimizations = self.strategy == "advanced"
+        cache: Optional[DominatorCache] = None
+        ordered: List[Candidate] = list(sample)
+        if use_optimizations:
+            cache = DominatorCache(
+                context.dataset, context.query, context.missing, self.model
+            )
+            ordered.sort(key=lambda c: (c.delta_doc, -c.gain))
+        for candidate in ordered:
+            stop_limit = None
+            if use_optimizations:
+                if (
+                    penalty_model.keyword_penalty(candidate.delta_doc)
+                    >= best.penalty
+                ):
+                    counters.pruned_by_keyword_penalty += 1
+                    break
+                stop_limit = penalty_model.max_useful_rank(
+                    best.penalty, candidate.delta_doc
+                )
+                if cache is not None and stop_limit is not None:
+                    survivors = cache.count_dominating(
+                        candidate.keywords, stop_limit
+                    )
+                    if survivors >= stop_limit:
+                        counters.pruned_by_cache += 1
+                        continue
+            counters.candidates_evaluated += 1
+            result = context.searcher.rank_of_missing(
+                context.query,
+                context.missing,
+                keywords=candidate.keywords,
+                stop_limit=stop_limit,
+            )
+            if cache is not None:
+                cache.add(result.dominators)
+            if result.aborted:
+                counters.aborted_early += 1
+                continue
+            rank = result.rank
+            assert rank is not None
+            penalty = penalty_model.penalty(candidate.delta_doc, rank)
+            if penalty < best.penalty:
+                best = RefinedQuery(
+                    keywords=candidate.keywords,
+                    k=penalty_model.refined_k(rank),
+                    delta_doc=candidate.delta_doc,
+                    rank=rank,
+                    penalty=penalty,
+                )
+        return best

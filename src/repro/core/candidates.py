@@ -1,0 +1,228 @@
+"""Candidate keyword-set enumeration.
+
+The refined keyword set ``doc'`` is obtained from ``doc₀`` by inserting
+keywords from ``M.doc − doc₀`` and deleting keywords of ``doc₀``
+(Sections IV-B/C and VI-A: keywords outside ``M.doc`` would only make
+the query less relevant to the missing objects).  The full candidate
+space therefore has ``2^|doc₀ ∪ M.doc|`` members.
+
+This module provides the three access patterns the algorithms need:
+
+* **naive order** for the basic algorithm — plain subset enumeration;
+* **paper order** for AdvancedBS (Opt2) — ascending edit distance,
+  ties broken by descending net particularity gain;
+* **distance batches** for Algorithm 4 — all candidates at one edit
+  distance;
+* **top-T by gain** for the approximate algorithm — the T candidates
+  with the highest total particularity, generated lazily with a
+  best-first walk over the edit lattice (no full enumeration), since
+  the approximate algorithm exists precisely for spaces too large to
+  enumerate.
+
+The empty keyword set is excluded everywhere: Jaccard similarity to an
+empty query is 0 for every object, so it can never be a best refinement
+and the paper's candidate space implicitly omits it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .particularity import ParticularityIndex
+
+__all__ = ["Candidate", "CandidateEnumerator"]
+
+KeywordSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One refined keyword set with its edit script.
+
+    ``delta_doc = |added| + |removed|`` is the Eqn 4 edit distance;
+    ``gain`` is the net particularity of the edit script (only
+    populated when an ordering that needs it produced the candidate).
+    """
+
+    keywords: KeywordSet
+    added: KeywordSet
+    removed: KeywordSet
+    gain: float = 0.0
+
+    @property
+    def delta_doc(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+class CandidateEnumerator:
+    """Enumerates refined keyword sets for one why-not question."""
+
+    def __init__(
+        self,
+        doc0: KeywordSet,
+        missing_doc: KeywordSet,
+        particularity: Optional[ParticularityIndex] = None,
+    ) -> None:
+        self.doc0 = frozenset(doc0)
+        self.missing_doc = frozenset(missing_doc)
+        self.addable: Tuple[int, ...] = tuple(sorted(self.missing_doc - self.doc0))
+        self.removable: Tuple[int, ...] = tuple(sorted(self.doc0))
+        self.particularity = particularity
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def universe_size(self) -> int:
+        """``|doc₀ ∪ M.doc|`` — the Δdoc normaliser of Eqn 4."""
+        return len(self.doc0 | self.missing_doc)
+
+    @property
+    def edit_universe(self) -> int:
+        """Number of independent edits = ``|addable| + |removable|``."""
+        return len(self.addable) + len(self.removable)
+
+    def total_candidates(self) -> int:
+        """Size of the full space: ``2^edits`` minus the identity edit
+        and minus the delete-everything-add-nothing script, which
+        yields the excluded empty keyword set (whenever ``doc₀`` is
+        non-empty)."""
+        total = 2 ** self.edit_universe - 1  # exclude the identity edit
+        if self.removable:
+            total -= 1  # remove all of doc0, add nothing -> empty set
+        return total
+
+    # ------------------------------------------------------------------
+    # construction helper
+    # ------------------------------------------------------------------
+    def _make(
+        self, added: Sequence[int], removed: Sequence[int], with_gain: bool
+    ) -> Optional[Candidate]:
+        added_set = frozenset(added)
+        removed_set = frozenset(removed)
+        if not added_set and not removed_set:
+            return None  # identity: the basic refined query covers it
+        keywords = (self.doc0 - removed_set) | added_set
+        if not keywords:
+            return None  # empty keyword set excluded
+        gain = 0.0
+        if with_gain and self.particularity is not None:
+            gain = self.particularity.edit_gain(added_set, removed_set)
+        return Candidate(
+            keywords=keywords, added=added_set, removed=removed_set, gain=gain
+        )
+
+    # ------------------------------------------------------------------
+    # orders
+    # ------------------------------------------------------------------
+    def iter_naive(self) -> Iterator[Candidate]:
+        """Plain subset enumeration (the basic algorithm's order)."""
+        for add_mask in range(2 ** len(self.addable)):
+            added = [
+                t for i, t in enumerate(self.addable) if add_mask >> i & 1
+            ]
+            for del_mask in range(2 ** len(self.removable)):
+                removed = [
+                    t for i, t in enumerate(self.removable) if del_mask >> i & 1
+                ]
+                candidate = self._make(added, removed, with_gain=False)
+                if candidate is not None:
+                    yield candidate
+
+    def at_distance(self, distance: int, with_gain: bool = True) -> List[Candidate]:
+        """All candidates with ``Δdoc == distance`` (Algorithm 4 batches),
+        sorted by descending particularity gain when an index is set."""
+        candidates: List[Candidate] = []
+        for n_added in range(min(distance, len(self.addable)) + 1):
+            n_removed = distance - n_added
+            if n_removed > len(self.removable):
+                continue
+            for added in itertools.combinations(self.addable, n_added):
+                for removed in itertools.combinations(self.removable, n_removed):
+                    candidate = self._make(added, removed, with_gain)
+                    if candidate is not None:
+                        candidates.append(candidate)
+        if self.particularity is not None and with_gain:
+            candidates.sort(key=lambda c: (-c.gain, sorted(c.keywords)))
+        return candidates
+
+    def iter_paper_order(self) -> Iterator[Candidate]:
+        """Opt2 order: ascending Δdoc, ties by descending gain."""
+        for distance in range(1, self.edit_universe + 1):
+            for candidate in self.at_distance(distance):
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # approximate sampling (Section VI-B)
+    # ------------------------------------------------------------------
+    def top_by_gain(self, sample_size: int) -> List[Candidate]:
+        """The ``T`` candidates with the highest net particularity gain.
+
+        Best-first walk over the edit lattice.  Every edit is an item
+        with a signed gain; the best candidate applies exactly the
+        positive-gain edits, and every other candidate differs by a set
+        of "flips" whose costs are the edits' absolute gains.  The walk
+        enumerates flip sets in ascending total cost with the classic
+        k-smallest-subset heap, so generating ``T`` samples costs
+        ``O(T log T)`` regardless of the ``2^edits`` space size.
+        """
+        if sample_size <= 0:
+            raise ValueError(f"sample size must be positive, got {sample_size}")
+        if self.particularity is None:
+            raise ValueError("top_by_gain requires a particularity index")
+
+        edits: List[Tuple[float, str, int]] = []
+        for term in self.addable:
+            edits.append((self.particularity.parti_missing(term), "add", term))
+        for term in self.removable:
+            edits.append((-self.particularity.parti_missing(term), "del", term))
+
+        base_applied = [e for e in edits if e[0] > 0]
+        flips = sorted(
+            (abs(gain), kind, term) for gain, kind, term in edits
+        )
+
+        def realise(flip_indexes: Tuple[int, ...]) -> Optional[Candidate]:
+            applied = {(kind, term) for _, kind, term in base_applied}
+            for index in flip_indexes:
+                _, kind, term = flips[index]
+                edit = (kind, term)
+                if edit in applied:
+                    applied.remove(edit)
+                else:
+                    applied.add(edit)
+            added = [term for kind, term in applied if kind == "add"]
+            removed = [term for kind, term in applied if kind == "del"]
+            return self._make(added, removed, with_gain=True)
+
+        results: List[Candidate] = []
+        seen_keywords: set = set()
+
+        def emit(flip_indexes: Tuple[int, ...]) -> None:
+            candidate = realise(flip_indexes)
+            if candidate is not None and candidate.keywords not in seen_keywords:
+                seen_keywords.add(candidate.keywords)
+                results.append(candidate)
+
+        emit(())
+        if flips:
+            heap: List[Tuple[float, Tuple[int, ...]]] = [(flips[0][0], (0,))]
+            while heap and len(results) < sample_size:
+                cost, indexes = heapq.heappop(heap)
+                emit(indexes)
+                last = indexes[-1]
+                if last + 1 < len(flips):
+                    # extend: add the next flip
+                    heapq.heappush(
+                        heap, (cost + flips[last + 1][0], indexes + (last + 1,))
+                    )
+                    # substitute: replace the last flip with the next
+                    heapq.heappush(
+                        heap,
+                        (cost - flips[last][0] + flips[last + 1][0],
+                         indexes[:-1] + (last + 1,)),
+                    )
+        return results[:sample_size]

@@ -1,0 +1,107 @@
+"""Shared per-question context.
+
+Every why-not algorithm starts the same way: resolve the missing
+objects, determine their rank under the initial query (``R(M, q)``),
+build the penalty model, and set up candidate enumeration.  This
+module factors that prologue so BS, AdvancedBS, KcRBased and the
+approximate algorithm share identical semantics for the pieces the
+paper holds fixed across algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..errors import MissingObjectError
+from ..index.rtree import RTreeBase
+from ..index.search import TopKSearcher
+from ..model.objects import Dataset, SpatialObject
+from ..model.query import SpatialKeywordQuery, WhyNotQuestion
+from ..model.similarity import SimilarityModel
+from .candidates import CandidateEnumerator
+from .particularity import ParticularityIndex
+from .penalty import PenaltyModel
+from .result import RefinedQuery
+
+__all__ = ["QuestionContext"]
+
+KeywordSet = FrozenSet[int]
+
+
+@dataclass
+class QuestionContext:
+    """Everything the algorithms need about one why-not question."""
+
+    question: WhyNotQuestion
+    dataset: Dataset
+    searcher: TopKSearcher
+    missing: Tuple[SpatialObject, ...]
+    initial_rank: int  # R(M, q)
+    penalty_model: PenaltyModel
+    particularity: ParticularityIndex
+    enumerator: CandidateEnumerator
+
+    @classmethod
+    def prepare(
+        cls,
+        question: WhyNotQuestion,
+        tree: RTreeBase,
+        model: SimilarityModel,
+    ) -> "QuestionContext":
+        """Resolve and validate a question against a dataset and index.
+
+        Computes ``R(M, q)`` with the index's rank-determination search
+        ("by slightly modifying the underlying spatial-keyword top-k
+        algorithm, changing the stop condition to retrieving the
+        missing object" — Section V-D), so the initial rank shows up in
+        the I/O accounting just as in the paper.
+        """
+        dataset = tree.dataset
+        query = question.query
+        missing = tuple(dataset.get(oid) for oid in question.missing)
+        searcher = TopKSearcher(tree, model)
+        rank_result = searcher.rank_of_missing(query, missing)
+        initial_rank = rank_result.rank
+        assert initial_rank is not None  # no stop limit was set
+        if initial_rank <= query.k:
+            raise MissingObjectError(
+                f"missing objects already rank {initial_rank} <= k={query.k} "
+                "under the initial query; nothing to explain"
+            )
+        missing_doc = frozenset().union(*(m.doc for m in missing))
+        particularity = ParticularityIndex(dataset, missing)
+        enumerator = CandidateEnumerator(
+            query.doc, missing_doc, particularity=particularity
+        )
+        penalty_model = PenaltyModel(
+            k0=query.k,
+            initial_rank=initial_rank,
+            doc_universe_size=len(query.doc | missing_doc),
+            lam=question.lam,
+        )
+        return cls(
+            question=question,
+            dataset=dataset,
+            searcher=searcher,
+            missing=missing,
+            initial_rank=initial_rank,
+            penalty_model=penalty_model,
+            particularity=particularity,
+            enumerator=enumerator,
+        )
+
+    @property
+    def query(self) -> SpatialKeywordQuery:
+        return self.question.query
+
+    def basic_refined(self) -> RefinedQuery:
+        """The basic refined query: keep ``doc₀``, enlarge ``k`` to
+        ``R(M, q)``.  Penalty is exactly ``λ`` (Section IV-C1)."""
+        return RefinedQuery(
+            keywords=self.query.doc,
+            k=self.initial_rank,
+            delta_doc=0,
+            rank=self.initial_rank,
+            penalty=self.penalty_model.basic_penalty,
+        )

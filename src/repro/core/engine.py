@@ -1,0 +1,202 @@
+"""High-level facade: one object that answers why-not questions.
+
+:class:`WhyNotEngine` owns the dataset, builds the two indexes lazily
+(the SetR-tree for BS/AdvancedBS, the KcR-tree for KcRBased), and
+dispatches a :class:`~repro.model.query.WhyNotQuestion` to any of the
+paper's methods by name.  It is the recommended entry point:
+
+>>> engine = WhyNotEngine(dataset)
+>>> answer = engine.answer(question, method="kcr")
+>>> answer.refined.describe(vocabulary)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from ..index.kcr_tree import KcRTree
+from ..index.rtree import DEFAULT_CAPACITY
+from ..index.search import TopKSearcher
+from ..index.setr_tree import SetRTree
+from ..model.objects import Dataset
+from ..model.query import SpatialKeywordQuery, WhyNotQuestion
+from ..model.similarity import JACCARD, SimilarityModel, get_model
+from .advanced import AdvancedAlgorithm
+from .alpha_refinement import AlphaRefinementAlgorithm, IntegratedAlgorithm
+from .approximate import ApproximateAlgorithm
+from .basic import BasicAlgorithm
+from .kcr_algorithm import KcRAlgorithm
+from .location_refinement import LocationRefinementAlgorithm
+from .parallel import ParallelAdvanced, ParallelKcR
+from .result import WhyNotAnswer
+
+__all__ = ["WhyNotEngine"]
+
+METHODS = (
+    "basic",
+    "advanced",
+    "kcr",
+    "approximate",
+    "parallel-advanced",
+    "parallel-kcr",
+    "alpha",
+    "location",
+    "integrated",
+)
+
+
+class WhyNotEngine:
+    """Facade over the dataset, the indexes, and the five algorithms."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        similarity: str = "jaccard",
+        buffer_fraction: Optional[float] = 0.25,
+    ) -> None:
+        """``buffer_fraction`` re-sizes each index's buffer pool to that
+        fraction of the index's on-disk pages (min 32), preserving the
+        paper's buffer-pressure ratio on scaled-down datasets; pass
+        ``None`` to keep the paper's absolute 4 MB buffer."""
+        self.dataset = dataset
+        self.capacity = capacity
+        self.model: SimilarityModel = get_model(similarity)
+        self.buffer_fraction = buffer_fraction
+        self._setr: Optional[SetRTree] = None
+        self._kcr: Optional[KcRTree] = None
+
+    def _apply_buffer_policy(self, tree):
+        if self.buffer_fraction is not None:
+            pages = max(32, int(tree.pager.total_pages * self.buffer_fraction))
+            tree.resize_buffer(min(pages, tree.buffer.capacity_pages or pages))
+        return tree
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    @property
+    def setr_tree(self) -> SetRTree:
+        """The SetR-tree, built on first use."""
+        if self._setr is None:
+            self._setr = self._apply_buffer_policy(
+                SetRTree(self.dataset, capacity=self.capacity)
+            )
+        return self._setr
+
+    @property
+    def kcr_tree(self) -> KcRTree:
+        """The KcR-tree, built on first use."""
+        if self._kcr is None:
+            self._kcr = self._apply_buffer_policy(
+                KcRTree(self.dataset, capacity=self.capacity)
+            )
+        return self._kcr
+
+    def reset_buffers(self) -> None:
+        """Cold-start both indexes' buffer pools (between experiments)."""
+        if self._setr is not None:
+            self._setr.reset_buffer()
+        if self._kcr is not None:
+            self._kcr.reset_buffer()
+
+    def insert(self, obj) -> None:
+        """Add an object to the dataset and every built index.
+
+        Indexes not built yet pick the object up when they are built;
+        already-built indexes receive a dynamic R-tree insertion with
+        summary maintenance.  Brute-force oracles constructed from the
+        dataset before the insert are snapshots and must be rebuilt.
+        """
+        self.dataset.add(obj)
+        if self._setr is not None:
+            self._setr.insert(obj)
+        if self._kcr is not None:
+            self._kcr.insert(obj)
+
+    def remove(self, oid: int) -> None:
+        """Remove an object from every built index and the dataset."""
+        obj = self.dataset.get(oid)
+        if self._setr is not None:
+            self._setr.delete(obj)
+        if self._kcr is not None:
+            self._kcr.delete(obj)
+        self.dataset.remove(oid)
+
+    def update_keywords(self, oid: int, keywords) -> None:
+        """Replace an object's document (delete + reinsert).
+
+        This is the merchant loop closed: answer a why-not question
+        about your own listing, then apply the suggested keywords.
+        The object keeps its id and location; document frequencies,
+        node summaries, and count maps all update.
+        """
+        from ..model.objects import SpatialObject
+
+        old = self.dataset.get(oid)
+        updated = SpatialObject(oid=oid, loc=old.loc, doc=frozenset(keywords))
+        self.remove(oid)
+        self.insert(updated)
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def top_k(self, query: SpatialKeywordQuery) -> List[Tuple[float, int]]:
+        """Run a plain spatial keyword top-k query (Definition 1)."""
+        return TopKSearcher(self.setr_tree, self.model).top_k(query)
+
+    def answer(
+        self,
+        question: WhyNotQuestion,
+        method: str = "kcr",
+        *,
+        sample_size: int = 200,
+        n_threads: int = 4,
+        **options,
+    ) -> WhyNotAnswer:
+        """Answer a why-not question with the chosen method.
+
+        ``method`` selects among ``basic`` (BS), ``advanced``
+        (AdvancedBS; accepts ``early_stop``/``ordering``/``filtering``
+        toggles via ``options``), ``kcr`` (KcRBased), ``approximate``
+        (accepts ``strategy``), and the two ``parallel-*`` variants.
+        """
+        if method == "basic":
+            return BasicAlgorithm(self.setr_tree, self.model).answer(question)
+        if method == "advanced":
+            return AdvancedAlgorithm(
+                self.setr_tree, self.model, **options
+            ).answer(question)
+        if method == "kcr":
+            return KcRAlgorithm(self.kcr_tree, self.model).answer(question)
+        if method == "approximate":
+            strategy = options.pop("strategy", "kcr")
+            tree = self.kcr_tree if strategy == "kcr" else self.setr_tree
+            return ApproximateAlgorithm(
+                tree, sample_size, strategy=strategy, model=self.model, **options
+            ).answer(question)
+        if method == "parallel-advanced":
+            return ParallelAdvanced(
+                self.setr_tree, n_threads, model=self.model, **options
+            ).answer(question)
+        if method == "parallel-kcr":
+            return ParallelKcR(
+                self.kcr_tree, n_threads, model=self.model
+            ).answer(question)
+        if method == "alpha":
+            return AlphaRefinementAlgorithm(
+                self.setr_tree, self.model, **options
+            ).answer(question)
+        if method == "location":
+            return LocationRefinementAlgorithm(
+                self.setr_tree, self.model, **options
+            ).answer(question)
+        if method == "integrated":
+            return IntegratedAlgorithm(
+                self.kcr_tree, self.model, **options
+            ).answer(question)
+        raise InvalidParameterError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )

@@ -1,0 +1,201 @@
+"""Human-readable why-not explanations.
+
+The paper's motivation (Section I) is usability: a user staring at a
+result wants to know *why* an expected object is absent and *what* to
+change.  The algorithms answer the second question with a refined
+query; this module answers the first by decomposing the evidence:
+
+* the missing object's score breakdown (spatial vs. textual) under the
+  initial query;
+* the objects that dominate it, each labelled with the axis it wins on
+  (closer, better keyword match, or both);
+* what the refined query changes, in words.
+
+:func:`explain` returns a structured :class:`WhyNotExplanation`;
+``render()`` produces the terminal-friendly report the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..data.vocabulary import Vocabulary
+from ..model.objects import Dataset, SpatialObject
+from ..model.query import SpatialKeywordQuery, WhyNotQuestion
+from ..model.scoring import Scorer
+from ..model.similarity import JACCARD, SimilarityModel
+from .result import WhyNotAnswer
+
+__all__ = ["Blocker", "MissingProfile", "WhyNotExplanation", "explain"]
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One object that outranks a missing object, with its edge."""
+
+    oid: int
+    score: float
+    spatial: float  # 1 - SDist
+    textual: float  # TSim
+    wins_spatially: bool
+    wins_textually: bool
+
+    @property
+    def edge(self) -> str:
+        if self.wins_spatially and self.wins_textually:
+            return "closer AND better keyword match"
+        if self.wins_spatially:
+            return "closer to the query location"
+        if self.wins_textually:
+            return "better keyword match"
+        return "higher combined score"
+
+
+@dataclass(frozen=True)
+class MissingProfile:
+    """Score decomposition of one missing object under the initial query."""
+
+    oid: int
+    rank: int
+    score: float
+    spatial: float
+    textual: float
+    blockers: Tuple[Blocker, ...]
+
+
+@dataclass
+class WhyNotExplanation:
+    """The full explanation bundle for one answered why-not question."""
+
+    question: WhyNotQuestion
+    answer: WhyNotAnswer
+    missing_profiles: Tuple[MissingProfile, ...]
+    added_keywords: FrozenSet[int]
+    removed_keywords: FrozenSet[int]
+    vocabulary: Optional[Vocabulary] = None
+
+    def _words(self, keywords) -> str:
+        if self.vocabulary is not None:
+            return ", ".join(self.vocabulary.decode(keywords)) or "(none)"
+        return ", ".join(str(t) for t in sorted(keywords)) or "(none)"
+
+    def render(self, max_blockers: int = 3) -> str:
+        """A terminal-friendly multi-line report."""
+        query = self.question.query
+        lines: List[str] = []
+        lines.append(
+            f"Why-not report for query keywords [{self._words(query.doc)}], "
+            f"top-{query.k}, alpha={query.alpha}"
+        )
+        for profile in self.missing_profiles:
+            lines.append(
+                f"\nMissing object #{profile.oid} ranked {profile.rank} "
+                f"(score {profile.score:.3f} = "
+                f"{query.alpha:.2f}*{profile.spatial:.3f} spatial + "
+                f"{1 - query.alpha:.2f}*{profile.textual:.3f} textual)."
+            )
+            if not profile.blockers:
+                lines.append("  Nothing outranked it (already in the result).")
+                continue
+            lines.append(
+                f"  Outranked by {profile.rank - 1} object(s); the strongest:"
+            )
+            for blocker in profile.blockers[:max_blockers]:
+                lines.append(
+                    f"    - object #{blocker.oid} "
+                    f"(score {blocker.score:.3f}): {blocker.edge}"
+                )
+        refined = self.answer.refined
+        lines.append("\nSuggested refinement:")
+        if self.added_keywords:
+            lines.append(f"  + add keyword(s): {self._words(self.added_keywords)}")
+        if self.removed_keywords:
+            lines.append(
+                f"  - drop keyword(s): {self._words(self.removed_keywords)}"
+            )
+        if refined.alpha is not None:
+            lines.append(
+                f"  ~ shift the spatial/textual preference to "
+                f"alpha={refined.alpha:.3f}"
+            )
+        if refined.k != query.k:
+            lines.append(f"  ~ enlarge k from {query.k} to {refined.k}")
+        if not (
+            self.added_keywords
+            or self.removed_keywords
+            or refined.alpha is not None
+            or refined.k != query.k
+        ):
+            lines.append("  (the original query already suffices)")
+        lines.append(
+            f"  -> the missing object(s) then rank within the top-{refined.k} "
+            f"(penalty {refined.penalty:.4f})."
+        )
+        return "\n".join(lines)
+
+
+def explain(
+    dataset: Dataset,
+    question: WhyNotQuestion,
+    answer: WhyNotAnswer,
+    *,
+    vocabulary: Optional[Vocabulary] = None,
+    model: SimilarityModel = JACCARD,
+    max_blockers: int = 10,
+) -> WhyNotExplanation:
+    """Build the explanation for an answered why-not question.
+
+    Pure in-memory analysis over the dataset (brute-force scoring);
+    it is diagnostics, not a measured algorithm, so it deliberately
+    bypasses the I/O-accounted indexes.
+    """
+    scorer = Scorer(dataset, model=model)
+    query = question.query
+    profiles: List[MissingProfile] = []
+    for oid in question.missing:
+        missing_obj = dataset.get(oid)
+        m_score = scorer.st(missing_obj, query)
+        m_spatial = 1.0 - scorer.sdist(missing_obj, query)
+        m_textual = scorer.tsim(missing_obj, query.doc)
+        blockers: List[Blocker] = []
+        for other in dataset:
+            if other.oid == oid:
+                continue
+            score = scorer.st(other, query)
+            if score <= m_score:
+                continue
+            spatial = 1.0 - scorer.sdist(other, query)
+            textual = scorer.tsim(other, query.doc)
+            blockers.append(
+                Blocker(
+                    oid=other.oid,
+                    score=score,
+                    spatial=spatial,
+                    textual=textual,
+                    wins_spatially=spatial > m_spatial,
+                    wins_textually=textual > m_textual,
+                )
+            )
+        blockers.sort(key=lambda b: -b.score)
+        profiles.append(
+            MissingProfile(
+                oid=oid,
+                rank=len(blockers) + 1,
+                score=m_score,
+                spatial=m_spatial,
+                textual=m_textual,
+                blockers=tuple(blockers[:max_blockers]),
+            )
+        )
+    refined = answer.refined
+    added = refined.keywords - query.doc
+    removed = query.doc - refined.keywords
+    return WhyNotExplanation(
+        question=question,
+        answer=answer,
+        missing_profiles=tuple(profiles),
+        added_keywords=frozenset(added),
+        removed_keywords=frozenset(removed),
+        vocabulary=vocabulary,
+    )

@@ -1,0 +1,449 @@
+"""The KcR-tree bound-and-prune algorithm (**KcRBased**, Section V).
+
+Algorithm 3 evaluates a whole batch of candidate keyword sets in a
+single traversal of the KcR-tree.  For every candidate ``S`` it
+maintains, per missing object, lower and upper bounds on the number of
+dominators (from :mod:`repro.core.bounds`); unfolding a node replaces
+that node's contribution with the sum of its children's, monotonically
+tightening both rank bounds and therefore both penalty bounds.  A
+candidate whose penalty lower bound exceeds the incumbent penalty is
+pruned; a candidate whose penalty upper bound improves on the
+incumbent becomes the new incumbent.  Children that can no longer
+tighten any alive candidate are not enqueued, and the traversal ends
+when the queue or the candidate set empties — at which point all
+surviving bounds are exact (leaf children are objects with known
+documents).
+
+Algorithm 4 drives Algorithm 3 strategically: candidates are batched
+by edit distance, batches are visited in ascending distance, and the
+whole process stops as soon as the next batch's keyword penalty alone
+cannot beat the incumbent — the same early-termination licence the
+enumeration order gives AdvancedBS.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..index.kcr_tree import KcRTree
+from ..model.query import WhyNotQuestion
+from ..model.similarity import JACCARD, SimilarityModel
+from .bounds import NodeTextStats, max_dom, min_dom
+from .candidates import Candidate
+from .context import QuestionContext
+from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+
+__all__ = ["KcRAlgorithm"]
+
+KeywordSet = FrozenSet[int]
+
+
+class _CandidateState:
+    """Bound-tracking state for one candidate inside Algorithm 3."""
+
+    __slots__ = (
+        "candidate",
+        "m_tsim",
+        "m_score",
+        "dmax",
+        "dmin",
+        "alive",
+    )
+
+    def __init__(self, candidate: Candidate, n_missing: int) -> None:
+        self.candidate = candidate
+        self.m_tsim: List[float] = [0.0] * n_missing  # TSim(m_i, S)
+        self.m_score: List[float] = [0.0] * n_missing  # ST(m_i, q_S)
+        self.dmax: List[int] = [0] * n_missing  # running Σ MaxDom
+        self.dmin: List[int] = [0] * n_missing  # running Σ MinDom
+        self.alive = True
+
+    def rank_upper(self) -> int:
+        """Upper bound on ``R(M, q_S)`` = max over missing objects."""
+        return max(self.dmax) + 1
+
+    def rank_lower(self) -> int:
+        """Lower bound on ``R(M, q_S)``.
+
+        The paper aggregates MinDom with a ``min`` over the missing
+        objects; since ``R(M, ·)`` is a max of per-object ranks, the
+        max of per-object lower bounds is also valid and tighter, so we
+        use it (noted in DESIGN.md).
+        """
+        return max(self.dmin) + 1
+
+
+class KcRAlgorithm:
+    """KcRBased: Algorithms 3 + 4 over the KcR-tree."""
+
+    name = "KcRBased"
+
+    def __init__(self, tree: KcRTree, model: SimilarityModel = JACCARD) -> None:
+        if model.name != "jaccard":
+            raise ValueError(
+                "the KcR-tree bounds (Theorems 2-3) are Jaccard-specific; "
+                f"got model {model.name!r}"
+            )
+        self.tree = tree
+        self.model = model
+        # NodeTextStats is O(|kcm| log |kcm|) to build; cache per aux
+        # record for the lifetime of the algorithm instance.  Purely an
+        # in-memory artefact: the underlying kcm fetch that feeds it is
+        # still I/O-accounted on every traversal.
+        self._stats_cache: Dict[int, NodeTextStats] = {}
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: the strategic driver
+    # ------------------------------------------------------------------
+    def answer(self, question: WhyNotQuestion) -> WhyNotAnswer:
+        """Return the best refined query for ``question``."""
+        started = time.perf_counter()
+        io_before = self.tree.stats.snapshot()
+        context = QuestionContext.prepare(question, self.tree, self.model)
+        counters = SearchCounters()
+        penalty_model = context.penalty_model
+
+        best = context.basic_refined()
+        for distance in range(1, context.enumerator.edit_universe + 1):
+            if penalty_model.keyword_penalty(distance) >= best.penalty:
+                break
+            batch = context.enumerator.at_distance(distance)
+            counters.candidates_enumerated += len(batch)
+            if batch:
+                best = self._bound_and_prune(context, batch, best, counters)
+
+        return WhyNotAnswer(
+            refined=best,
+            initial_rank=context.initial_rank,
+            algorithm=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            io=self.tree.stats.snapshot() - io_before,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: one-traversal bound-and-prune over a batch
+    # ------------------------------------------------------------------
+    def _bound_and_prune(
+        self,
+        context: QuestionContext,
+        batch: Sequence[Candidate],
+        best: RefinedQuery,
+        counters: SearchCounters,
+    ) -> RefinedQuery:
+        """Evaluate ``batch`` in one KcR-tree traversal (Algorithm 3)."""
+        tree = self.tree
+        query = context.query
+        penalty_model = context.penalty_model
+        alpha = query.alpha
+        beta = 1.0 - alpha
+        missing = context.missing
+        n_missing = len(missing)
+        m_sdist = [
+            tree.dataset.normalized_distance(m.loc, query.loc) for m in missing
+        ]
+        m_spatial = [alpha * (1.0 - d) for d in m_sdist]
+
+        states = [_CandidateState(c, n_missing) for c in batch]
+        counters.candidates_evaluated += len(states)
+        for state in states:
+            for i, m in enumerate(missing):
+                tsim = self.model.similarity(m.doc, state.candidate.keywords)
+                state.m_tsim[i] = tsim
+                state.m_score[i] = m_spatial[i] + beta * tsim
+
+        # Root-level initial bounds (Algorithm 3 lines 2-6).
+        root_stats = self._node_stats(tree.root_summary_record)
+        root_rect = tree.root_rect
+        assert root_rect is not None
+        root_geo = self._geo_offsets(root_rect, query.loc, alpha, m_sdist)
+        contributions: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
+        root_contrib: Dict[int, Tuple[List[int], List[int]]] = {}
+        for s_index, state in enumerate(states):
+            dmax, dmin = self._node_bounds(root_stats, *root_geo, state)
+            state.dmax = list(dmax)
+            state.dmin = list(dmin)
+            root_contrib[s_index] = (dmax, dmin)
+        contributions[tree.root_id] = root_contrib
+
+        best_owner: Optional[_CandidateState] = None
+        best, best_owner = self._sweep_candidates(
+            states, penalty_model, best, best_owner, counters
+        )
+        alive_count = sum(1 for s in states if s.alive)
+        if alive_count == 0:
+            return best
+
+        queue: Deque[int] = deque([tree.root_id])
+        while queue:
+            node_id = queue.popleft()
+            counters.nodes_expanded += 1
+            node_contrib = contributions.pop(node_id, None)
+            if node_contrib is None:
+                continue  # contribution superseded; nothing to refine
+            node = tree.fetch_node(node_id)
+
+            if node.is_leaf:
+                child_sums = self._leaf_exact_sums(node, states, query, alpha, beta)
+            else:
+                child_sums, child_infos = self._branch_child_bounds(
+                    node, states, query.loc, alpha, m_sdist
+                )
+
+            # Lines 18-19: replace this node's contribution with the
+            # children's sums, per candidate and per missing object.
+            for s_index, state in enumerate(states):
+                if not state.alive:
+                    continue
+                old_max, old_min = node_contrib[s_index]
+                new_max, new_min = child_sums[s_index]
+                for i in range(n_missing):
+                    state.dmax[i] += new_max[i] - old_max[i]
+                    state.dmin[i] += new_min[i] - old_min[i]
+
+            best, best_owner = self._sweep_candidates(
+                states, penalty_model, best, best_owner, counters
+            )
+            if not any(state.alive for state in states):
+                return best
+
+            if not node.is_leaf:
+                for entry, per_candidate in child_infos:
+                    # Line 29-30: skip children whose bounds are already
+                    # exact for every alive candidate.
+                    useful = any(
+                        states[s_index].alive
+                        and per_candidate[s_index][0] != per_candidate[s_index][1]
+                        for s_index in range(len(states))
+                    )
+                    if not useful:
+                        continue
+                    contributions[entry.child_id] = {
+                        s_index: per_candidate[s_index]
+                        for s_index in range(len(states))
+                    }
+                    queue.append(entry.child_id)
+        return best
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _node_stats(self, aux_record: int) -> NodeTextStats:
+        stats = self._stats_cache.get(aux_record)
+        if stats is None:
+            cnt, kcm = self.tree.fetch_kcm(aux_record)
+            stats = NodeTextStats(cnt, kcm)
+            self._stats_cache[aux_record] = stats
+        else:
+            # Still charge the fetch so I/O accounting matches a real
+            # traversal; the buffer pool decides hit or miss.
+            self.tree.fetch_kcm(aux_record)
+        return stats
+
+    def _geo_offsets(
+        self, rect, query_loc, alpha: float, m_sdist: Sequence[float]
+    ) -> Tuple[List[float], List[float]]:
+        """Geometric halves of the Theorem-2 thresholds for one node.
+
+        ``L_i = geo_lower[i] + TSim(m_i, S)`` and likewise for ``U_i``;
+        computing the rectangle distances once per node (instead of
+        once per node × candidate × missing object) is the dominant
+        saving for large candidate batches.
+        """
+        diagonal = self.tree.dataset.diagonal
+        min_d = min(1.0, rect.min_dist(query_loc) / diagonal)
+        max_d = min(1.0, rect.max_dist(query_loc) / diagonal)
+        ratio = alpha / (1.0 - alpha)
+        geo_lower = [ratio * (min_d - sdist) for sdist in m_sdist]
+        geo_upper = [ratio * (max_d - sdist) for sdist in m_sdist]
+        return geo_lower, geo_upper
+
+    def _node_bounds(
+        self,
+        stats: NodeTextStats,
+        geo_lower: Sequence[float],
+        geo_upper: Sequence[float],
+        state: _CandidateState,
+    ) -> Tuple[List[int], List[int]]:
+        """(MaxDom, MinDom) per missing object for one node/candidate.
+
+        Results are memoised per distinct threshold within the call:
+        missing objects frequently share ``TSim(m_i, S)`` and therefore
+        thresholds, and MinDom is skipped outright when MaxDom is
+        already zero (``0 <= dmin <= dmax``).
+        """
+        keywords = state.candidate.keywords
+        dmax: List[int] = []
+        dmin: List[int] = []
+        max_cache: Dict[float, int] = {}
+        min_cache: Dict[float, int] = {}
+        for i in range(len(geo_lower)):
+            lower = geo_lower[i] + state.m_tsim[i]
+            upper = geo_upper[i] + state.m_tsim[i]
+            d_hi = max_cache.get(lower)
+            if d_hi is None:
+                d_hi = max_dom(stats, keywords, lower)
+                max_cache[lower] = d_hi
+            if d_hi == 0:
+                d_lo = 0
+            else:
+                d_lo = min_cache.get(upper)
+                if d_lo is None:
+                    d_lo = min_dom(stats, keywords, upper)
+                    min_cache[upper] = d_lo
+            dmax.append(d_hi)
+            dmin.append(d_lo)
+        return dmax, dmin
+
+    def _branch_child_bounds(
+        self,
+        node,
+        states: Sequence[_CandidateState],
+        query_loc,
+        alpha: float,
+        m_sdist: Sequence[float],
+    ):
+        """Bounds for every child of a branch node, per candidate.
+
+        Returns ``(child_sums, child_infos)`` where ``child_sums`` maps
+        candidate index to summed (dmax, dmin) vectors and
+        ``child_infos`` pairs each child entry with its per-candidate
+        bounds for contribution bookkeeping.
+        """
+        n_missing = len(m_sdist)
+        child_infos = []
+        child_sums: Dict[int, Tuple[List[int], List[int]]] = {
+            s_index: ([0] * n_missing, [0] * n_missing)
+            for s_index in range(len(states))
+        }
+        for entry in node.child_entries:
+            stats = self._node_stats(entry.aux_record)
+            geo_lower, geo_upper = self._geo_offsets(
+                entry.rect, query_loc, alpha, m_sdist
+            )
+            per_candidate: Dict[int, Tuple[List[int], List[int]]] = {}
+            for s_index, state in enumerate(states):
+                if not state.alive:
+                    per_candidate[s_index] = (
+                        [0] * n_missing,
+                        [0] * n_missing,
+                    )
+                    continue
+                dmax, dmin = self._node_bounds(stats, geo_lower, geo_upper, state)
+                per_candidate[s_index] = (dmax, dmin)
+                sums = child_sums[s_index]
+                for i in range(n_missing):
+                    sums[0][i] += dmax[i]
+                    sums[1][i] += dmin[i]
+            child_infos.append((entry, per_candidate))
+        return child_sums, child_infos
+
+    def _leaf_exact_sums(
+        self,
+        node,
+        states: Sequence[_CandidateState],
+        query,
+        alpha: float,
+        beta: float,
+    ) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Exact dominator counts for the objects of a leaf node.
+
+        Vectorised over the leaf's objects with a term-incidence
+        matrix: one boolean column per keyword occurring in the leaf,
+        so each candidate's Jaccard similarities for the whole leaf
+        reduce to a column-slice sum.  Doc fetches stay per-object
+        (I/O-accounted); only the arithmetic is batched.
+        """
+        tree = self.tree
+        n_missing = len(states[0].m_score) if states else 0
+        entries = node.object_entries
+        docs = [tree.fetch_doc(entry.doc_record) for entry in entries]
+        term_index: Dict[int, int] = {}
+        for doc in docs:
+            for term in doc:
+                if term not in term_index:
+                    term_index[term] = len(term_index)
+        incidence = np.zeros((len(entries), max(1, len(term_index))), dtype=np.float64)
+        for row, doc in enumerate(docs):
+            for term in doc:
+                incidence[row, term_index[term]] = 1.0
+        doc_lengths = np.array([len(doc) for doc in docs], dtype=np.float64)
+        spatial = np.array(
+            [
+                alpha * (1.0 - tree.dataset.normalized_distance(e.loc, query.loc))
+                for e in entries
+            ],
+            dtype=np.float64,
+        )
+
+        sums: Dict[int, Tuple[List[int], List[int]]] = {
+            s_index: ([0] * n_missing, [0] * n_missing)
+            for s_index in range(len(states))
+        }
+        for s_index, state in enumerate(states):
+            if not state.alive:
+                continue
+            keywords = state.candidate.keywords
+            columns = [term_index[t] for t in keywords if t in term_index]
+            if columns:
+                inter = incidence[:, columns].sum(axis=1)
+            else:
+                inter = np.zeros(len(entries))
+            union = doc_lengths + float(len(keywords)) - inter
+            with np.errstate(divide="ignore", invalid="ignore"):
+                tsim = np.where(union > 0.0, inter / union, 0.0)
+            scores = spatial + beta * tsim
+            dmax, dmin = sums[s_index]
+            for i in range(n_missing):
+                count = int(np.count_nonzero(scores > state.m_score[i]))
+                dmax[i] += count
+                dmin[i] += count
+        return sums
+
+    def _sweep_candidates(
+        self,
+        states: Sequence[_CandidateState],
+        penalty_model,
+        best: RefinedQuery,
+        best_owner: Optional[_CandidateState],
+        counters: SearchCounters,
+    ) -> Tuple[RefinedQuery, Optional[_CandidateState]]:
+        """Lines 20-26: update the incumbent and prune candidates.
+
+        The incumbent snapshot is refreshed not only when another
+        candidate strictly improves the penalty, but also when the
+        snapshot's *own* rank bound tightens at an unchanged penalty —
+        the penalty is flat for ranks at or below ``k₀``, and without
+        the refresh the reported rank/k' would freeze at the first
+        (loose) bound instead of converging to the exact value.
+        """
+        for state in states:
+            if not state.alive:
+                continue
+            rank_upper = state.rank_upper()
+            pn_upper = penalty_model.penalty(state.candidate.delta_doc, rank_upper)
+            improves = pn_upper < best.penalty
+            owner_refresh = state is best_owner and rank_upper != best.rank
+            if improves or owner_refresh:
+                best = RefinedQuery(
+                    keywords=state.candidate.keywords,
+                    k=penalty_model.refined_k(rank_upper),
+                    delta_doc=state.candidate.delta_doc,
+                    rank=rank_upper,
+                    penalty=pn_upper,
+                )
+                best_owner = state
+        for state in states:
+            if not state.alive:
+                continue
+            pn_lower = penalty_model.penalty(
+                state.candidate.delta_doc, state.rank_lower()
+            )
+            if pn_lower > best.penalty:
+                state.alive = False
+                counters.pruned_by_bounds += 1
+        return best, best_owner

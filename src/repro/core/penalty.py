@@ -1,0 +1,152 @@
+"""The penalty model (Eqn 4), Lemma 1, and the Eqn 6 rank bound.
+
+Every why-not algorithm scores a refined query ``q' = (loc, doc', k', α)``
+by
+
+``Penalty(q, q') = λ·Δk/(R(M,q) − k₀) + (1−λ)·Δdoc/|doc₀ ∪ M.doc|``
+
+with ``Δk = max(0, k' − k₀)`` and ``Δdoc`` the insert/delete edit
+distance from ``doc₀`` to ``doc'``.  Lemma 1 pins the optimal ``k'``
+for a given ``doc'``: ``k' = max(k₀, R(M, q'))`` — enlarging ``k``
+beyond the missing objects' rank only adds penalty, and shrinking it
+below ``k₀`` never helps.
+
+:class:`PenaltyModel` freezes the question-level constants
+(``k₀``, ``R(M,q)``, ``λ``, the normaliser ``|doc₀ ∪ M.doc|``) so the
+per-candidate arithmetic is a couple of multiplications, and derives
+the **early-stop rank bound** of Eqn 6: the largest rank a candidate
+could reach while still strictly improving on the incumbent penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InvalidParameterError
+
+__all__ = ["PenaltyModel", "BASIC_REFINED_PENALTY_IS_LAMBDA"]
+
+BASIC_REFINED_PENALTY_IS_LAMBDA = True
+"""The basic refined query (keep ``doc₀``, set ``k' = R(M,q)``) always
+has penalty exactly ``λ``: ``Δk/(R(M,q)−k₀) = 1`` and ``Δdoc = 0``."""
+
+
+@dataclass(frozen=True)
+class PenaltyModel:
+    """Penalty arithmetic for one why-not question.
+
+    Parameters
+    ----------
+    k0:
+        The initial query's result size.
+    initial_rank:
+        ``R(M, q)`` — the worst missing object's rank under the
+        *initial* query.  Must exceed ``k0`` (otherwise nothing is
+        missing and there is no question to answer).
+    doc_universe_size:
+        ``|doc₀ ∪ M.doc|`` — the Δdoc normaliser.
+    lam:
+        ``λ`` — user preference for modifying ``k`` versus keywords.
+    """
+
+    k0: int
+    initial_rank: int
+    doc_universe_size: int
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.k0 <= 0:
+            raise InvalidParameterError(f"k0 must be positive, got {self.k0}")
+        if self.initial_rank <= self.k0:
+            raise InvalidParameterError(
+                f"R(M,q)={self.initial_rank} must exceed k0={self.k0}; "
+                "the missing objects are not actually missing"
+            )
+        if self.doc_universe_size <= 0:
+            raise InvalidParameterError("doc universe must be non-empty")
+        if not 0.0 <= self.lam <= 1.0:
+            raise InvalidParameterError(f"lambda must lie in [0, 1], got {self.lam}")
+
+    # ------------------------------------------------------------------
+    # penalty components
+    # ------------------------------------------------------------------
+    @property
+    def rank_margin(self) -> int:
+        """``R(M,q) − k₀`` — the Δk normaliser."""
+        return self.initial_rank - self.k0
+
+    def keyword_penalty(self, delta_doc: int) -> float:
+        """The ``(1−λ)·Δdoc/|doc₀ ∪ M.doc|`` term."""
+        if delta_doc < 0:
+            raise InvalidParameterError(f"delta_doc must be >= 0, got {delta_doc}")
+        return (1.0 - self.lam) * delta_doc / self.doc_universe_size
+
+    def k_penalty(self, rank: int) -> float:
+        """The ``λ·Δk/(R(M,q)−k₀)`` term with Lemma 1's ``k'``."""
+        delta_k = max(0, rank - self.k0)
+        return self.lam * delta_k / self.rank_margin
+
+    def penalty(self, delta_doc: int, rank: int) -> float:
+        """Eqn 4 for a candidate with edit distance ``delta_doc`` whose
+        worst missing object ranks ``rank`` under the refined keywords."""
+        return self.k_penalty(rank) + self.keyword_penalty(delta_doc)
+
+    def refined_k(self, rank: int) -> int:
+        """Lemma 1: the optimal ``k'`` for a given missing-object rank."""
+        return max(self.k0, rank)
+
+    @property
+    def basic_penalty(self) -> float:
+        """Penalty of the basic refined query (``doc₀``, ``k'=R(M,q)``)."""
+        return self.lam
+
+    # ------------------------------------------------------------------
+    # Eqn 6: the early-stop rank bound
+    # ------------------------------------------------------------------
+    def max_useful_rank(
+        self, incumbent_penalty: float, delta_doc: int
+    ) -> Optional[int]:
+        """Largest rank at which a candidate still *strictly* improves.
+
+        Returns ``None`` when no rank can: the keyword penalty alone
+        already reaches the incumbent (the Algorithm 1 line 6 / line 12
+        prune).  Returns ``math.inf``-like behaviour as a very large
+        int when ``λ = 0`` and the keyword penalty improves — rank then
+        has no effect on penalty at all.
+
+        This is Eqn 6 up to strictness: the paper floors
+        ``k₀ + (p_c − keyword_penalty)/λ · (R(M,q) − k₀)`` with a
+        non-strict comparison; we want the exact strict-improvement
+        boundary *under float semantics* (so the bound agrees with the
+        ``penalty()`` the algorithms recompute on completion).  The
+        closed form seeds a gallop + binary search, which terminates in
+        O(log) steps even for pathological λ values where the penalty
+        grows by sub-ulp amounts per rank.
+        """
+        text_pen = self.keyword_penalty(delta_doc)
+        if text_pen >= incumbent_penalty:
+            return None
+        if self.lam == 0.0:
+            # Rank is free; any rank improves as long as Δdoc does.
+            return 10**18
+        cap = 10**15
+        base = self.k0 + (incumbent_penalty - text_pen) / self.lam * self.rank_margin
+        if not math.isfinite(base) or base >= cap:
+            return 10**18
+        # Bracket the boundary: penalty(lo) < p_c (holds at k0, where
+        # the k-penalty vanishes), penalty(hi) >= p_c.
+        lo = self.k0
+        hi = max(self.k0, int(base)) + 1
+        while self.penalty(delta_doc, hi) < incumbent_penalty:
+            hi = self.k0 + 2 * (hi - self.k0) + 1
+            if hi >= cap:
+                return 10**18
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.penalty(delta_doc, mid) < incumbent_penalty:
+                lo = mid
+            else:
+                hi = mid
+        return lo

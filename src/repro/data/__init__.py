@@ -1,0 +1,29 @@
+"""Datasets: vocabulary interning, synthetic generators, persistence."""
+
+from .flatfile import load_flatfile, save_flatfile
+from .io import load_dataset, save_dataset
+from .text import DEFAULT_STOPWORDS, normalize_keywords, tokenize
+from .synthetic import (
+    SyntheticConfig,
+    generate,
+    make_euro_like,
+    make_gn_like,
+    make_micro_example,
+)
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "SyntheticConfig",
+    "generate",
+    "make_euro_like",
+    "make_gn_like",
+    "make_micro_example",
+    "save_dataset",
+    "load_dataset",
+    "load_flatfile",
+    "save_flatfile",
+    "DEFAULT_STOPWORDS",
+    "normalize_keywords",
+    "tokenize",
+]

@@ -1,0 +1,59 @@
+"""Dataset persistence.
+
+Datasets save to a simple JSON document (vocabulary + objects) so
+benchmark workloads are reproducible across runs and machines without
+regenerating.  JSON keeps the format inspectable; the files involved
+are small (tens of thousands of objects), so compactness is not worth
+an opaque binary format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+from ..model.objects import Dataset, SpatialObject
+from .vocabulary import Vocabulary
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(
+    dataset: Dataset, vocabulary: Vocabulary, path: Union[str, Path]
+) -> None:
+    """Write a dataset and its vocabulary to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "diagonal": dataset.diagonal,
+        "vocabulary": list(vocabulary.words),
+        "objects": [
+            {"oid": obj.oid, "loc": list(obj.loc), "doc": sorted(obj.doc)}
+            for obj in dataset
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_dataset(path: Union[str, Path]) -> Tuple[Dataset, Vocabulary]:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+    vocabulary = Vocabulary(payload["vocabulary"])
+    objects = [
+        SpatialObject(
+            oid=entry["oid"],
+            loc=(float(entry["loc"][0]), float(entry["loc"][1])),
+            doc=frozenset(int(t) for t in entry["doc"]),
+        )
+        for entry in payload["objects"]
+    ]
+    dataset = Dataset(
+        objects, diagonal=float(payload["diagonal"]), name=payload["name"]
+    )
+    return dataset, vocabulary

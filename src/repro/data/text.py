@@ -1,0 +1,67 @@
+"""Keyword normalisation for real-world text.
+
+The synthetic generators emit clean ``term_N`` tokens, but real POI
+listings ("Joe's Café & Grill — 24hr!") need normalisation before the
+set-based similarity models are meaningful.  :func:`normalize_keywords`
+applies the standard pipeline — casefold, strip punctuation/diacritics'
+ASCII leftovers, drop stopwords and degenerate tokens — and is what the
+flat-file loader users should run their raw descriptions through.
+
+The stopword list is the short English core; pass ``stopwords=()`` to
+keep everything, or your own set for other languages.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_STOPWORDS", "tokenize", "normalize_keywords"]
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be by for from has in is it of on or that the to
+    with near best great good new""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens of ``text``, in order.
+
+    Punctuation, symbols and whitespace are separators; digits are
+    kept (house numbers and "24hr" carry meaning in POI data).
+    """
+    return _TOKEN_RE.findall(text.casefold())
+
+
+def normalize_keywords(
+    text_or_tokens: "str | Iterable[str]",
+    *,
+    stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+    min_length: int = 2,
+) -> Tuple[str, ...]:
+    """Normalise raw text (or pre-split tokens) into keyword terms.
+
+    Returns the deduplicated keywords in first-occurrence order —
+    callers feed them to :meth:`Vocabulary.encode`, which builds the
+    set, but the stable order keeps vocabulary ids deterministic
+    across runs.
+
+    >>> normalize_keywords("Joe's Café & Grill — the BEST 24hr diner!")
+    ('joe', 'caf', 'grill', '24hr', 'diner')
+    """
+    if isinstance(text_or_tokens, str):
+        tokens = tokenize(text_or_tokens)
+    else:
+        tokens = [t for raw in text_or_tokens for t in tokenize(raw)]
+    stop = frozenset(stopwords)
+    seen = []
+    for token in tokens:
+        if len(token) < min_length and not token.isdigit():
+            continue
+        if token in stop:
+            continue
+        if token not in seen:
+            seen.append(token)
+    return tuple(seen)

@@ -1,0 +1,64 @@
+"""Keyword interning.
+
+All library internals work on integer keyword ids; the vocabulary maps
+between human-readable words and ids at the API boundary.  Interning
+keeps the hot-path set algebra (Jaccard numerators/denominators,
+keyword-count map lookups) on small ints and makes documents hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A bidirectional word <-> id map with stable, dense ids."""
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        for word in words:
+            self.intern(word)
+
+    def intern(self, word: str) -> int:
+        """Return the id of ``word``, assigning the next id if new."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_word)
+        self._word_to_id[word] = new_id
+        self._id_to_word.append(word)
+        return new_id
+
+    def id_of(self, word: str) -> int:
+        """Id of a known word; raises ``KeyError`` for unknown words."""
+        return self._word_to_id[word]
+
+    def word_of(self, term_id: int) -> str:
+        """Word for a known id; raises ``IndexError`` for unknown ids."""
+        if term_id < 0:
+            raise IndexError(f"negative keyword id {term_id}")
+        return self._id_to_word[term_id]
+
+    def encode(self, words: Iterable[str]) -> FrozenSet[int]:
+        """Intern a document: words in, keyword-id set out."""
+        return frozenset(self.intern(word) for word in words)
+
+    def decode(self, term_ids: Iterable[int]) -> List[str]:
+        """Human-readable words for a keyword-id set, sorted for display."""
+        return sorted(self.word_of(t) for t in term_ids)
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: object) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    @property
+    def words(self) -> Sequence[str]:
+        return tuple(self._id_to_word)

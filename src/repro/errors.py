@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  More specific subclasses exist for the three broad failure
+domains: bad user input (queries / parameters), data-model violations,
+and storage-layer faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query object violates its own invariants.
+
+    Raised, for example, when ``k <= 0``, when ``alpha`` falls outside
+    the open interval ``(0, 1)``, or when the query keyword set is
+    empty where a non-empty set is required.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its documented domain.
+
+    Raised for a ``lambda`` preference outside ``[0, 1]``, a
+    non-positive sample size for the approximate algorithm, a thread
+    count below one, and similar misconfigurations.
+    """
+
+
+class MissingObjectError(ReproError, ValueError):
+    """A why-not question references an unusable missing object.
+
+    Raised when the missing-object set is empty, contains an id that
+    is not in the dataset, or contains an object that is already in
+    the top-``k`` result of the initial query (so there is nothing to
+    explain).
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset violates the data-model invariants.
+
+    Raised for duplicate object ids, empty datasets where objects are
+    required, or objects whose documents reference keywords that are
+    not in the vocabulary.
+    """
+
+
+class StorageError(ReproError, RuntimeError):
+    """A simulated-disk fault: unknown page id, double free, etc."""
+
+
+class IndexError_(ReproError, RuntimeError):
+    """An index structure is malformed or used before being built.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexStructureError`` from the
+    package root.
+    """
+
+
+# Public alias that avoids the awkward trailing underscore.
+IndexStructureError = IndexError_

@@ -1,0 +1,113 @@
+"""Dependency-free terminal charts for experiment results.
+
+The harness regenerates the *data* behind the paper's figures; this
+module draws it, so ``repro-whynot experiment fig4 --chart`` shows the
+comparative shape (who wins, how curves bend) without leaving the
+terminal or installing a plotting stack.
+
+Bars are horizontal, one block-row per (x-value, series) pair, scaled
+to the widest value; a log scale keeps BS's order-of-magnitude lead
+from flattening everyone else into invisibility — the same reason the
+paper plots Figs 4–9 on log axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .figures import FigureResult
+
+__all__ = ["bar_chart", "figure_chart"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    series: Sequence[Tuple[str, float]],
+    *,
+    width: int = 46,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    ``series`` is ``[(label, value), ...]``; non-finite or negative
+    values render as ``-``.  With ``log_scale`` bars are proportional
+    to ``log10`` of the value (floored one decade below the minimum
+    positive value so the smallest bar stays visible).
+    """
+    drawable = [
+        (label, value)
+        for label, value in series
+        if value is not None and math.isfinite(value) and value >= 0.0
+    ]
+    label_width = max((len(label) for label, _ in series), default=0)
+    lines: List[str] = []
+    if drawable:
+        positives = [v for _, v in drawable if v > 0]
+        if log_scale and positives:
+            floor = math.log10(min(positives)) - 1.0
+            span = max(math.log10(max(positives)) - floor, 1e-9)
+
+            def scale(value: float) -> float:
+                if value <= 0:
+                    return 0.0
+                return (math.log10(value) - floor) / span
+        else:
+            top = max((v for _, v in drawable), default=1.0) or 1.0
+
+            def scale(value: float) -> float:
+                return value / top
+
+    for label, value in series:
+        padded = label.ljust(label_width)
+        if value is None or not math.isfinite(value) or value < 0.0:
+            lines.append(f"{padded} | -")
+            continue
+        filled = scale(value) * width
+        blocks = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            blocks += _HALF
+        rendered_value = f"{value:,.4g}{unit}"
+        lines.append(f"{padded} | {blocks} {rendered_value}")
+    return "\n".join(lines)
+
+
+def figure_chart(
+    result: FigureResult,
+    metric: str = "time",
+    *,
+    width: int = 46,
+) -> str:
+    """Chart one metric (``time``/``ios``/``penalty``) of a figure result.
+
+    Rows are grouped by x-value with one bar per algorithm, so the
+    cross-algorithm comparison the paper's figures make is immediate.
+    Time and I/O render on a log scale (matching the paper's axes).
+    """
+    attribute = {
+        "time": "mean_time",
+        "ios": "mean_ios",
+        "penalty": "mean_penalty",
+    }.get(metric)
+    if attribute is None:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected time, ios, or penalty"
+        )
+    unit = {"time": " s", "ios": " pages", "penalty": ""}[metric]
+    series: List[Tuple[str, Optional[float]]] = []
+    for point in result.points:
+        for label, aggregate in point.methods.items():
+            series.append(
+                (
+                    f"{result.x_label}={point.x_value} {label}",
+                    getattr(aggregate, attribute),
+                )
+            )
+    header = f"-- {result.figure}: mean {metric} --"
+    chart = bar_chart(
+        series, width=width, log_scale=metric in ("time", "ios"), unit=unit
+    )
+    return f"{header}\n{chart}"

@@ -1,0 +1,96 @@
+"""Experiment configuration (the paper's Table III, plus scaling).
+
+The paper's defaults (bold in Table III): ``k₀ = 10``, 4 query
+keywords, ``α = 0.5``, missing object at rank ``5·k₀ + 1 = 51``,
+``λ = 0.5``, one missing object, EURO dataset, 1,000 queries per data
+point.
+
+Pure Python is ~two orders of magnitude slower than the paper's Java
+setup, so each experiment runs at a configurable :class:`Scale`:
+
+* ``smoke`` — minutes-long CI scale: tiny datasets, one query per
+  point, reduced sweeps.  Used by the pytest-benchmark suite.
+* ``default`` — the scale the committed EXPERIMENTS.md numbers use.
+* ``full`` — closest to the paper; expect hours for the BS sweeps.
+
+Scaling shrinks dataset cardinality and query counts, never the
+algorithms or parameter semantics; the paper's own Fig 13 shows cost
+linear in cardinality, so comparative shapes survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["Scale", "SCALES", "Defaults", "PARAMETER_GRID"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    euro_size: int  # EURO-like dataset cardinality
+    gn_sizes: Tuple[int, ...]  # Fig 13 scalability sweep cardinalities
+    n_queries: int  # queries averaged per data point
+    max_extra_keywords: int  # cap on |m.doc - doc0| in generated workloads
+    bs_candidate_cap: int  # skip BS on points whose space exceeds this
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        euro_size=600,
+        gn_sizes=(400, 800, 1600),
+        n_queries=1,
+        max_extra_keywords=4,
+        bs_candidate_cap=2_000,
+    ),
+    "default": Scale(
+        name="default",
+        euro_size=4_000,
+        gn_sizes=(2_000, 4_000, 8_000, 16_000),
+        n_queries=3,
+        max_extra_keywords=5,
+        bs_candidate_cap=10_000,
+    ),
+    "full": Scale(
+        name="full",
+        euro_size=20_000,
+        gn_sizes=(5_000, 10_000, 20_000, 40_000),
+        n_queries=10,
+        max_extra_keywords=6,
+        bs_candidate_cap=100_000,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """The bold column of Table III."""
+
+    k0: int = 10
+    n_keywords: int = 4
+    alpha: float = 0.5
+    lam: float = 0.5
+    rank_multiplier: int = 5  # missing object at rank 5*k0 + 1
+    n_missing: int = 1
+    seed: int = 2016  # the paper's year; fixed for reproducibility
+
+    @property
+    def rank_target(self) -> int:
+        return self.rank_multiplier * self.k0 + 1
+
+
+PARAMETER_GRID: Dict[str, Sequence] = {
+    "k0": (3, 10, 30, 100),
+    "n_keywords": (2, 4, 6, 8),
+    "alpha": (0.1, 0.3, 0.5, 0.7, 0.9),
+    "rank_target": (31, 51, 101, 151, 201),
+    "lam": (0.1, 0.3, 0.5, 0.7, 0.9),
+    "n_missing": (1, 2, 3, 4),
+    "n_threads": (1, 2, 4, 8),
+    "sample_size": (100, 200, 400, 800),
+}
+"""Table III sweeps (plus the Fig 10 / Fig 12 x-axes)."""

@@ -1,0 +1,456 @@
+"""One function per figure of the paper's evaluation (Section VII-B).
+
+Each ``figN`` function builds the workloads the paper describes for
+that figure, runs the relevant algorithms at the requested
+:class:`~repro.experiments.config.Scale`, and returns a
+:class:`FigureResult` of rows ready for
+:mod:`repro.experiments.reporting`.
+
+Shared datasets and engines are cached per (kind, size) for the
+duration of the process — the paper likewise builds each index once
+and reuses it across the 1,000 queries of every data point.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import WhyNotEngine
+from ..data.synthetic import make_euro_like, make_gn_like
+from ..model.objects import Dataset
+from .config import PARAMETER_GRID, SCALES, Defaults, Scale
+from .runner import MethodSpec, PointResult, Runner
+from .workload import WorkloadGenerator
+
+__all__ = [
+    "FigureResult",
+    "FIGURES",
+    "run_figure",
+    "table2_dataset_info",
+    "fig4_vary_k0",
+    "fig5_vary_keywords",
+    "fig6_vary_alpha",
+    "fig7_vary_lambda",
+    "fig8_vary_rank",
+    "fig9_vary_missing",
+    "fig10_vary_threads",
+    "fig11_optimizations",
+    "fig12_approximate",
+    "fig13_scalability",
+]
+
+DEFAULTS = Defaults()
+
+_THREE_METHODS = (
+    MethodSpec("BS", "basic"),
+    MethodSpec("AdvancedBS", "advanced"),
+    MethodSpec("KcRBased", "kcr"),
+)
+
+
+@dataclass
+class FigureResult:
+    """The regenerated data behind one paper figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    points: List[PointResult]
+    notes: str = ""
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [point.row() for point in self.points]
+
+    @property
+    def total_mismatches(self) -> int:
+        return sum(point.mismatches for point in self.points)
+
+
+# ----------------------------------------------------------------------
+# dataset / engine cache
+# ----------------------------------------------------------------------
+_CACHE: Dict[Tuple[str, int], Tuple[Dataset, WhyNotEngine]] = {}
+
+
+def _engine_for(kind: str, size: int, seed: int) -> Tuple[Dataset, WhyNotEngine]:
+    key = (kind, size)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if kind == "euro":
+        dataset, _ = make_euro_like(size, seed=seed)
+    elif kind == "gn":
+        dataset, _ = make_gn_like(size, seed=seed)
+    else:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    engine = WhyNotEngine(dataset)
+    _CACHE[key] = (dataset, engine)
+    return dataset, engine
+
+
+def clear_cache() -> None:
+    """Drop cached datasets/engines (tests use this to bound memory)."""
+    _CACHE.clear()
+
+
+def _runner(scale: Scale, engine: WhyNotEngine) -> Runner:
+    return Runner(engine, bs_candidate_cap=scale.bs_candidate_cap)
+
+
+def _point_seed(figure: str, value: object) -> int:
+    """Deterministic workload seed per (figure, x-value).
+
+    Built on CRC32, not the builtin ``hash`` — string hashing is
+    salted per process (PYTHONHASHSEED), which would silently give
+    every harness run a different workload.
+    """
+    key = f"{figure}:{value}".encode("utf-8")
+    return (DEFAULTS.seed * 31 + zlib.crc32(key)) % (2**31)
+
+
+# ----------------------------------------------------------------------
+# figures
+# ----------------------------------------------------------------------
+def fig4_vary_k0(scale: Scale) -> FigureResult:
+    """Fig 4: vary ``k₀``; the missing object tracks rank ``5·k₀ + 1``."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for k0 in PARAMETER_GRID["k0"]:
+        if 5 * k0 + 1 >= len(dataset):
+            continue  # the smoke dataset cannot host rank 501
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig4", k0))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(runner.run_point("k0", k0, cases, _THREE_METHODS))
+    return FigureResult(
+        figure="fig4",
+        title="Varying k0 (missing object at rank 5*k0+1)",
+        x_label="k0",
+        points=points,
+    )
+
+
+def fig5_vary_keywords(scale: Scale) -> FigureResult:
+    """Fig 5: vary the number of initial query keywords."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for n_keywords in PARAMETER_GRID["n_keywords"]:
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig5", n_keywords))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(
+            runner.run_point("n_keywords", n_keywords, cases, _THREE_METHODS)
+        )
+    return FigureResult(
+        figure="fig5",
+        title="Varying the number of initial query keywords",
+        x_label="n_keywords",
+        points=points,
+    )
+
+
+def fig6_vary_alpha(scale: Scale) -> FigureResult:
+    """Fig 6: vary the spatial/textual preference α."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for alpha in PARAMETER_GRID["alpha"]:
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig6", alpha))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=alpha,
+            lam=DEFAULTS.lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(runner.run_point("alpha", alpha, cases, _THREE_METHODS))
+    return FigureResult(
+        figure="fig6",
+        title="Varying alpha",
+        x_label="alpha",
+        points=points,
+    )
+
+
+def fig7_vary_lambda(scale: Scale) -> FigureResult:
+    """Fig 7: vary the penalty preference λ."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for lam in PARAMETER_GRID["lam"]:
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig7", lam))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(runner.run_point("lambda", lam, cases, _THREE_METHODS))
+    return FigureResult(
+        figure="fig7",
+        title="Varying lambda",
+        x_label="lambda",
+        points=points,
+    )
+
+
+def fig8_vary_rank(scale: Scale) -> FigureResult:
+    """Fig 8: vary the missing object's initial rank (top-10 query)."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for rank in PARAMETER_GRID["rank_target"]:
+        if rank >= len(dataset):
+            continue
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig8", rank))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            rank_target=rank,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(runner.run_point("R(m,q)", rank, cases, _THREE_METHODS))
+    return FigureResult(
+        figure="fig8",
+        title="Varying the missing object's initial ranking",
+        x_label="R(m,q)",
+        points=points,
+    )
+
+
+def fig9_vary_missing(scale: Scale) -> FigureResult:
+    """Fig 9: vary the number of missing objects (ranks 11–51)."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for n_missing in PARAMETER_GRID["n_missing"]:
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig9", n_missing))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            n_missing=n_missing,
+            missing_rank_range=(DEFAULTS.k0 + 1, 5 * DEFAULTS.k0 + 1),
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(
+            runner.run_point("n_missing", n_missing, cases, _THREE_METHODS)
+        )
+    return FigureResult(
+        figure="fig9",
+        title="Varying the number of missing objects",
+        x_label="n_missing",
+        points=points,
+    )
+
+
+def fig10_vary_threads(scale: Scale) -> FigureResult:
+    """Fig 10: parallel speedup (simulated makespan; see DESIGN.md)."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    points = []
+    for n_threads in PARAMETER_GRID["n_threads"]:
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig10", 0))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        specs = (
+            MethodSpec(
+                "AdvancedBS", "parallel-advanced", {"n_threads": n_threads}
+            ),
+            MethodSpec("KcRBased", "parallel-kcr", {"n_threads": n_threads}),
+        )
+        points.append(runner.run_point("n_threads", n_threads, cases, specs))
+    return FigureResult(
+        figure="fig10",
+        title="Varying the number of threads (simulated makespan)",
+        x_label="n_threads",
+        points=points,
+        notes="Elapsed time is the list-scheduling makespan over the "
+        "measured per-candidate costs (CPython threads cannot show "
+        "CPU-bound speedup); see DESIGN.md substitutions.",
+    )
+
+
+def fig11_optimizations(scale: Scale) -> FigureResult:
+    """Fig 11: ablation of the three AdvancedBS optimizations."""
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    specs = (
+        MethodSpec("BS", "basic"),
+        MethodSpec(
+            "BS+Opt1",
+            "advanced",
+            {"early_stop": True, "ordering": False, "filtering": False},
+        ),
+        MethodSpec(
+            "BS+Opt2",
+            "advanced",
+            {"early_stop": False, "ordering": True, "filtering": False},
+        ),
+        MethodSpec(
+            "BS+Opt3",
+            "advanced",
+            {"early_stop": False, "ordering": False, "filtering": True},
+        ),
+        MethodSpec("AdvancedBS", "advanced"),
+    )
+    generator = WorkloadGenerator(dataset, seed=_point_seed("fig11", 0))
+    cases = generator.generate(
+        scale.n_queries,
+        k0=DEFAULTS.k0,
+        n_keywords=DEFAULTS.n_keywords,
+        alpha=DEFAULTS.alpha,
+        lam=DEFAULTS.lam,
+        max_extra_keywords=scale.max_extra_keywords,
+    )
+    points = [runner.run_point("config", "default", cases, specs)]
+    return FigureResult(
+        figure="fig11",
+        title="Pruning abilities of the optimizations",
+        x_label="config",
+        points=points,
+    )
+
+
+def fig12_approximate(scale: Scale) -> FigureResult:
+    """Fig 12: the approximate algorithm — time and penalty vs T.
+
+    The paper's setup is a top-10 query with 8 keywords (a candidate
+    space large enough that sampling matters); penalties are compared
+    against the exact algorithms.
+    """
+    dataset, engine = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    runner = _runner(scale, engine)
+    generator = WorkloadGenerator(dataset, seed=_point_seed("fig12", 0))
+    cases = generator.generate(
+        scale.n_queries,
+        k0=DEFAULTS.k0,
+        n_keywords=8,
+        alpha=DEFAULTS.alpha,
+        lam=DEFAULTS.lam,
+        max_extra_keywords=scale.max_extra_keywords,
+    )
+    points = []
+    for sample_size in PARAMETER_GRID["sample_size"]:
+        specs = (
+            MethodSpec(
+                "Approx-BS",
+                "approximate",
+                {"sample_size": sample_size, "strategy": "bs"},
+            ),
+            MethodSpec(
+                "Approx-AdvancedBS",
+                "approximate",
+                {"sample_size": sample_size, "strategy": "advanced"},
+            ),
+            MethodSpec(
+                "Approx-KcRBased",
+                "approximate",
+                {"sample_size": sample_size, "strategy": "kcr"},
+            ),
+        )
+        points.append(runner.run_point("sample_size", sample_size, cases, specs))
+    # One exact reference point (AdvancedBS + KcRBased).
+    exact_specs = (
+        MethodSpec("AdvancedBS", "advanced"),
+        MethodSpec("KcRBased", "kcr"),
+    )
+    points.append(runner.run_point("sample_size", "exact", cases, exact_specs))
+    return FigureResult(
+        figure="fig12",
+        title="Approximate algorithm: time and penalty vs sample size",
+        x_label="sample_size",
+        points=points,
+    )
+
+
+def fig13_scalability(scale: Scale) -> FigureResult:
+    """Fig 13: scalability over GN-like datasets of increasing size."""
+    points = []
+    for size in scale.gn_sizes:
+        dataset, engine = _engine_for("gn", size, DEFAULTS.seed + 1)
+        runner = _runner(scale, engine)
+        generator = WorkloadGenerator(dataset, seed=_point_seed("fig13", size))
+        cases = generator.generate(
+            scale.n_queries,
+            k0=DEFAULTS.k0,
+            n_keywords=DEFAULTS.n_keywords,
+            alpha=DEFAULTS.alpha,
+            lam=DEFAULTS.lam,
+            max_extra_keywords=scale.max_extra_keywords,
+        )
+        points.append(runner.run_point("dataset_size", size, cases, _THREE_METHODS))
+    return FigureResult(
+        figure="fig13",
+        title="Varying dataset size (GN-like)",
+        x_label="dataset_size",
+        points=points,
+    )
+
+
+def table2_dataset_info(scale: Scale) -> List[Dict[str, object]]:
+    """Table II: statistics of the generated substitute datasets."""
+    euro, _ = _engine_for("euro", scale.euro_size, DEFAULTS.seed)
+    gn, _ = _engine_for("gn", scale.gn_sizes[-1], DEFAULTS.seed + 1)
+    return [euro.summary(), gn.summary()]
+
+
+FIGURES: Dict[str, Callable[[Scale], FigureResult]] = {
+    "fig4": fig4_vary_k0,
+    "fig5": fig5_vary_keywords,
+    "fig6": fig6_vary_alpha,
+    "fig7": fig7_vary_lambda,
+    "fig8": fig8_vary_rank,
+    "fig9": fig9_vary_missing,
+    "fig10": fig10_vary_threads,
+    "fig11": fig11_optimizations,
+    "fig12": fig12_approximate,
+    "fig13": fig13_scalability,
+}
+
+
+def run_figure(name: str, scale_name: str = "default") -> FigureResult:
+    """Run one figure's experiment by name at a named scale."""
+    try:
+        figure = FIGURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; expected one of {sorted(FIGURES)}"
+        ) from None
+    try:
+        scale = SCALES[scale_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale_name!r}; expected one of {sorted(SCALES)}"
+        ) from None
+    return figure(scale)

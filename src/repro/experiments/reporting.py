@@ -1,0 +1,98 @@
+"""Rendering experiment results as text tables and Markdown.
+
+The harness prints the same rows the paper plots: one line per x-axis
+value, one column pair (time, I/O) per algorithm.  Markdown output
+feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .figures import FigureResult
+
+__all__ = ["format_value", "figure_to_text", "figure_to_markdown", "rows_to_table"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly scalar formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def rows_to_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Plain-text aligned table from a list of row dicts."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r))
+        for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def _figure_columns(result: FigureResult) -> List[str]:
+    columns = [result.x_label]
+    seen = set()
+    for point in result.points:
+        for label in point.methods:
+            if label not in seen:
+                seen.add(label)
+                columns.extend(
+                    (f"{label}_time_s", f"{label}_ios", f"{label}_penalty")
+                )
+    return columns
+
+
+def figure_to_text(result: FigureResult) -> str:
+    """Render one figure's result as an aligned text table."""
+    lines = [f"== {result.figure}: {result.title} =="]
+    if result.notes:
+        lines.append(f"   note: {result.notes}")
+    lines.append(rows_to_table(result.rows(), _figure_columns(result)))
+    if result.total_mismatches:
+        lines.append(
+            f"WARNING: {result.total_mismatches} case(s) where exact "
+            "algorithms disagreed on penalty"
+        )
+    return "\n".join(lines)
+
+
+def figure_to_markdown(result: FigureResult) -> str:
+    """Render one figure's result as a Markdown table."""
+    columns = _figure_columns(result)
+    rows = result.rows()
+    lines = [f"### {result.figure}: {result.title}", ""]
+    if result.notes:
+        lines.extend([f"*{result.notes}*", ""])
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(row.get(col)) for col in columns) + " |"
+        )
+    if result.total_mismatches:
+        lines.extend(
+            ["", f"**WARNING:** {result.total_mismatches} exact-method mismatches"]
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Hybrid spatio-textual indexes: SetR-tree, KcR-tree, best-first search."""
+
+from .entries import ChildEntry, Node, ObjectEntry
+from .inverted import InvertedFileIndex
+from .kcr_tree import KcRTree
+from .persistence import load_index, save_index
+from .rtree import DEFAULT_CAPACITY, RTreeBase, TextSummary
+from .search import RankResult, TopKSearcher
+from .setr_tree import SetRTree
+
+__all__ = [
+    "ChildEntry",
+    "Node",
+    "ObjectEntry",
+    "InvertedFileIndex",
+    "KcRTree",
+    "RTreeBase",
+    "TextSummary",
+    "DEFAULT_CAPACITY",
+    "RankResult",
+    "TopKSearcher",
+    "SetRTree",
+    "save_index",
+    "load_index",
+]

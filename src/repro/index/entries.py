@@ -1,0 +1,88 @@
+"""Node and entry structures shared by the SetR-tree and KcR-tree.
+
+Both indexes are R-trees whose nodes carry textual payloads stored as
+separate pager records, mirroring the paper's pointer-based layout
+(``pks``/``pku``/``pki`` in Section IV-B, ``pcm`` in Section V-A):
+
+* a **leaf** node holds :class:`ObjectEntry` values — object id, point
+  location, and a pointer (record id) to the object's keyword set;
+* a **branch** node holds :class:`ChildEntry` values — child node
+  record id, child MBR, and a pointer to the child's textual summary
+  (union+intersection pair for the SetR-tree, ``(cnt, keyword-count
+  map)`` for the KcR-tree).
+
+Entries are plain frozen dataclasses; the node is mutable only during
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from ..model.geometry import Point, Rect
+from ..storage.packing import SlotRef
+
+__all__ = ["ObjectEntry", "ChildEntry", "Node", "Entry"]
+
+
+@dataclass(frozen=True)
+class ObjectEntry:
+    """A leaf entry: ``(o, mbr, pks)`` with a degenerate point MBR.
+
+    ``doc_record`` is a packed-slot reference: keyword sets are stored
+    several-per-page (see :mod:`repro.storage.packing`).
+    """
+
+    oid: int
+    loc: Point
+    doc_record: SlotRef
+
+
+@dataclass(frozen=True)
+class ChildEntry:
+    """A branch entry: child pointer, child MBR, textual-summary pointer."""
+
+    child_id: int
+    rect: Rect
+    aux_record: int
+
+
+Entry = Union[ObjectEntry, ChildEntry]
+
+
+@dataclass
+class Node:
+    """One tree node as stored in the pager.
+
+    ``node_id`` is the pager record id of the node itself; it is
+    assigned by the builder immediately after allocation (the record
+    payload is stored by reference, so the post-allocation fix-up is
+    visible on later fetches).  ``aux_record`` is the record holding
+    this node's textual summary — the same record the parent's
+    :class:`ChildEntry` points at; nodes carry it too so dynamic
+    insertion can maintain summaries along the root-to-leaf path
+    without parent pointers.
+    """
+
+    node_id: int
+    is_leaf: bool
+    rect: Rect
+    entries: List[Entry]
+    level: int  # 0 for leaves, parents one higher
+    aux_record: int = -1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def object_entries(self) -> Sequence[ObjectEntry]:
+        if not self.is_leaf:
+            raise TypeError("object_entries on a branch node")
+        return self.entries  # type: ignore[return-value]
+
+    @property
+    def child_entries(self) -> Sequence[ChildEntry]:
+        if self.is_leaf:
+            raise TypeError("child_entries on a leaf node")
+        return self.entries  # type: ignore[return-value]

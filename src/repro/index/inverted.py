@@ -1,0 +1,240 @@
+"""R-tree + inverted-file baseline.
+
+The paper's related work (Section II-A) starts from "a hybrid index
+structure that integrates R*-tree and inverted file" [34] — the
+pre-IR-tree way of answering spatial keyword queries.  This module
+implements that baseline over the same simulated-disk substrate so the
+SetR-tree and KcR-tree have a comparator:
+
+* a plain R-tree carries **no** textual payloads in its nodes;
+* an inverted file maps each keyword to a postings record (the ids and
+  document lengths of the objects containing it), stored on pages
+  proportional to the postings size.
+
+Query processing fetches the postings of every query keyword first
+(textual similarities for all candidate objects become known — objects
+absent from every postings list have similarity 0), then runs the
+usual best-first R-tree search.  Because the nodes say nothing about
+text, the per-node score bound must assume the best textual similarity
+*any* object achieves, which is exactly the weak pruning that
+motivated hybrid indexes — visible in the I/O comparison benches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import IndexStructureError
+from ..model.objects import Dataset, SpatialObject
+from ..model.query import SpatialKeywordQuery
+from ..model.similarity import JACCARD, SimilarityModel
+from ..storage.layout import keyword_set_bytes
+from .rtree import RTreeBase, TextSummary
+from .search import RankResult
+
+__all__ = ["InvertedFileIndex"]
+
+KeywordSet = FrozenSet[int]
+
+
+class _PlainRTree(RTreeBase):
+    """R-tree without textual summaries (4-byte placeholder records)."""
+
+    def _summary_payload(self, summary: TextSummary):
+        return None, 4
+
+    def _augment_payload(self, payload, doc):
+        return None, 4
+
+    def _merge_payloads(self, payloads):
+        return None, 4
+
+
+class InvertedFileIndex:
+    """The [34]-style baseline: plain R-tree + per-keyword postings."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        capacity: int = 100,
+        model: SimilarityModel = JACCARD,
+        **tree_kwargs,
+    ) -> None:
+        self.dataset = dataset
+        self.model = model
+        self.tree = _PlainRTree(dataset, capacity=capacity, **tree_kwargs)
+        # postings: keyword -> pager record of (oid, doc_length) pairs
+        self._postings_records: Dict[int, int] = {}
+        postings: Dict[int, List[Tuple[int, int]]] = {}
+        for obj in dataset:
+            for term in obj.doc:
+                postings.setdefault(term, []).append((obj.oid, len(obj.doc)))
+        for term, entries in postings.items():
+            nbytes = keyword_set_bytes(2 * len(entries))
+            self._postings_records[term] = self.tree.pager.allocate(
+                tuple(entries), nbytes
+            )
+        self._counter = itertools.count()
+
+    @property
+    def stats(self):
+        return self.tree.stats
+
+    def reset_buffer(self) -> None:
+        """Cold-start the cache (between experiment repetitions)."""
+        self.tree.reset_buffer()
+
+    def insert(self, obj: SpatialObject) -> None:
+        """Insert one object: R-tree insert + postings maintenance."""
+        self.tree.insert(obj)
+        for term in obj.doc:
+            record = self._postings_records.get(term)
+            if record is None:
+                self._postings_records[term] = self.tree.pager.allocate(
+                    ((obj.oid, len(obj.doc)),), keyword_set_bytes(2)
+                )
+                continue
+            entries = tuple(self.tree.buffer.fetch(record)) + (
+                (obj.oid, len(obj.doc)),
+            )
+            self.tree.pager.update(
+                record, entries, keyword_set_bytes(2 * len(entries))
+            )
+            self.tree.buffer.invalidate(record)
+
+    # ------------------------------------------------------------------
+    # textual phase
+    # ------------------------------------------------------------------
+    def _textual_scores(self, keywords: KeywordSet) -> Tuple[Dict[int, float], float]:
+        """Jaccard similarity per candidate object, via postings.
+
+        Fetches each query keyword's postings record (I/O-accounted).
+        Returns the per-object similarities plus their maximum — the
+        only textual bound a text-blind R-tree node can use.
+        """
+        intersections: Dict[int, int] = {}
+        lengths: Dict[int, int] = {}
+        for term in keywords:
+            record = self._postings_records.get(term)
+            if record is None:
+                continue
+            for oid, doc_len in self.tree.buffer.fetch(record):
+                intersections[oid] = intersections.get(oid, 0) + 1
+                lengths[oid] = doc_len
+        n_query = len(keywords)
+        scores: Dict[int, float] = {}
+        best = 0.0
+        for oid, inter in intersections.items():
+            union = lengths[oid] + n_query - inter
+            value = inter / union if union else 0.0
+            scores[oid] = value
+            if value > best:
+                best = value
+        return scores, best
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _object_score(
+        self,
+        loc,
+        oid: int,
+        tsim: Dict[int, float],
+        query: SpatialKeywordQuery,
+    ) -> float:
+        dist = self.dataset.normalized_distance(loc, query.loc)
+        return query.alpha * (1.0 - dist) + (1.0 - query.alpha) * tsim.get(oid, 0.0)
+
+    def top_k(
+        self,
+        query: SpatialKeywordQuery,
+        k: Optional[int] = None,
+        keywords: Optional[KeywordSet] = None,
+    ) -> List[Tuple[float, int]]:
+        """Definition 1 over the baseline index."""
+        limit = query.k if k is None else k
+        doc = query.doc if keywords is None else keywords
+        tsim, best_tsim = self._textual_scores(doc)
+        heap: List[Tuple[float, int, int, Optional[int]]] = []
+        heapq.heappush(
+            heap, (-float("inf"), -1, next(self._counter), self.tree.root_id)
+        )
+        results: List[Tuple[float, int]] = []
+        beta = (1.0 - query.alpha) * best_tsim
+        while heap and len(results) < limit:
+            neg_key, tiebreak, _, node_id = heapq.heappop(heap)
+            if node_id is None:
+                results.append((-neg_key, tiebreak))
+                continue
+            node = self.tree.fetch_node(node_id)
+            if node.is_leaf:
+                for entry in node.object_entries:
+                    score = self._object_score(entry.loc, entry.oid, tsim, query)
+                    heapq.heappush(
+                        heap, (-score, entry.oid, next(self._counter), None)
+                    )
+            else:
+                for entry in node.child_entries:
+                    min_d = min(
+                        1.0,
+                        entry.rect.min_dist(query.loc) / self.dataset.diagonal,
+                    )
+                    bound = query.alpha * (1.0 - min_d) + beta
+                    heapq.heappush(
+                        heap, (-bound, -1, next(self._counter), entry.child_id)
+                    )
+        return results
+
+    def rank_of_missing(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        keywords: Optional[KeywordSet] = None,
+        stop_limit: Optional[int] = None,
+    ) -> RankResult:
+        """Rank determination with the same contract as TopKSearcher."""
+        doc = query.doc if keywords is None else keywords
+        tsim, best_tsim = self._textual_scores(doc)
+        threshold = min(
+            self._object_score(m.loc, m.oid, tsim, query) for m in missing
+        )
+        beta = (1.0 - query.alpha) * best_tsim
+        heap: List[Tuple[float, int, int, Optional[int]]] = []
+        heapq.heappush(
+            heap, (-float("inf"), -1, next(self._counter), self.tree.root_id)
+        )
+        dominators: List[int] = []
+        while heap:
+            neg_key, tiebreak, _, node_id = heap[0]
+            if -neg_key <= threshold:
+                break
+            heapq.heappop(heap)
+            if node_id is None:
+                dominators.append(tiebreak)
+                if stop_limit is not None and len(dominators) >= stop_limit:
+                    return RankResult(
+                        rank=None, dominators=tuple(dominators), aborted=True
+                    )
+                continue
+            node = self.tree.fetch_node(node_id)
+            if node.is_leaf:
+                for entry in node.object_entries:
+                    score = self._object_score(entry.loc, entry.oid, tsim, query)
+                    heapq.heappush(
+                        heap, (-score, entry.oid, next(self._counter), None)
+                    )
+            else:
+                for entry in node.child_entries:
+                    min_d = min(
+                        1.0,
+                        entry.rect.min_dist(query.loc) / self.dataset.diagonal,
+                    )
+                    bound = query.alpha * (1.0 - min_d) + beta
+                    heapq.heappush(
+                        heap, (-bound, -1, next(self._counter), entry.child_id)
+                    )
+        return RankResult(
+            rank=len(dominators) + 1, dominators=tuple(dominators), aborted=False
+        )

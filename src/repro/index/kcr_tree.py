@@ -1,0 +1,86 @@
+"""The KcR-tree (Section V-A).
+
+An R-tree whose non-leaf entries point at a **keyword-count map**
+(``kcm``) of the child node: for every keyword appearing anywhere in
+the child's subtree, the number of objects in that subtree containing
+it.  Each node additionally stores ``cnt``, the subtree cardinality.
+
+The count map supports the bound-and-prune algorithm's
+``MaxDom``/``MinDom`` estimation (Algorithm 2, Theorems 2–3) in
+:mod:`repro.core.bounds`, and a coarse score upper bound used for the
+initial rank determination in Algorithm 4 — an object's Jaccard
+similarity to ``S`` can never exceed ``|kcm ∩ S| / |S|`` because the
+union with ``S`` has at least ``|S|`` terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..errors import IndexStructureError
+from ..model.query import SpatialKeywordQuery
+from ..storage.layout import keyword_count_map_bytes
+from .entries import ChildEntry
+from .rtree import RTreeBase, TextSummary
+
+__all__ = ["KcRTree"]
+
+KeywordSet = FrozenSet[int]
+KcMap = Dict[int, int]
+
+
+class KcRTree(RTreeBase):
+    """R-tree whose nodes carry ``(cnt, keyword-count map)`` payloads."""
+
+    def _summary_payload(self, summary: TextSummary):
+        kcm: KcMap = dict(summary.counts)
+        return (summary.cnt, kcm), keyword_count_map_bytes(len(kcm))
+
+    def _augment_payload(self, payload, doc):
+        cnt, kcm = payload
+        new_kcm = dict(kcm)
+        for term in doc:
+            new_kcm[term] = new_kcm.get(term, 0) + 1
+        return (cnt + 1, new_kcm), keyword_count_map_bytes(len(new_kcm))
+
+    def _merge_payloads(self, payloads):
+        total = 0
+        merged: KcMap = {}
+        for cnt, kcm in payloads:
+            total += cnt
+            for term, count in kcm.items():
+                merged[term] = merged.get(term, 0) + count
+        return (total, merged), keyword_count_map_bytes(len(merged))
+
+    def fetch_kcm(self, aux_record: int) -> Tuple[int, KcMap]:
+        """Load ``(cnt, kcm)`` for a node, I/O-accounted."""
+        payload = self.buffer.fetch(aux_record)
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            raise IndexStructureError(
+                f"record {aux_record} is not a KcR-tree count map"
+            )
+        return payload
+
+    def entry_score_bound(
+        self,
+        entry: ChildEntry,
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet,
+    ) -> float:
+        """Admissible ``ST`` upper bound for any object under ``entry``.
+
+        Jaccard-specific: ``TSim <= |kcm-keys ∩ S| / |S|`` since the
+        numerator cannot exceed the keywords present in the subtree and
+        the union in the denominator contains all of ``S``.
+        """
+        cnt, kcm = self.fetch_kcm(entry.aux_record)
+        min_dist = entry.rect.min_dist(query.loc) / self.dataset.diagonal
+        if min_dist > 1.0:
+            min_dist = 1.0
+        spatial = 1.0 - min_dist
+        if keywords:
+            overlap = sum(1 for t in keywords if t in kcm)
+            textual = overlap / len(keywords)
+        else:
+            textual = 0.0
+        return query.alpha * spatial + (1.0 - query.alpha) * textual

@@ -1,0 +1,189 @@
+"""Best-first spatial keyword search over the hybrid indexes.
+
+Two operations drive every why-not algorithm:
+
+* **top-k retrieval** (Definition 1) — the classic IR-tree style
+  best-first search: a max-heap ordered by score for objects and by
+  the node score upper bound (Theorem 1 for the SetR-tree, the coarse
+  count-map bound for the KcR-tree) for subtrees.  An object popped
+  from the heap is guaranteed final because its exact score keys it.
+
+* **rank determination** — "process the query until object m appears"
+  (Section IV-B).  The rank of a missing-object set under a candidate
+  keyword set is one plus the number of objects scoring strictly above
+  the worst missing object (Eqn 3 / Section VI-A).  The search pops
+  entries until the best remaining upper bound can no longer beat that
+  threshold, optionally aborting early once more than ``stop_limit``
+  dominators have been seen — the Opt1 early stop of Section IV-C1.
+
+Both trees expose the same two methods the searcher needs
+(``entry_score_bound`` and ``fetch_doc``), so one searcher serves both.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..model.objects import SpatialObject
+from ..model.query import SpatialKeywordQuery
+from ..model.similarity import JACCARD, SimilarityModel
+from .rtree import RTreeBase
+
+__all__ = ["TopKSearcher", "RankResult"]
+
+KeywordSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class RankResult:
+    """Outcome of a rank-determination search.
+
+    ``rank`` is ``None`` when the search aborted early (Opt1): more
+    than ``stop_limit`` dominators were found, so the candidate keyword
+    set cannot beat the current best refined query.  ``dominators``
+    always holds the ids of the strictly-better objects discovered
+    before the search ended — the Opt3 dominator cache feeds on them.
+    """
+
+    rank: Optional[int]
+    dominators: Tuple[int, ...]
+    aborted: bool
+
+
+class TopKSearcher:
+    """Best-first search over a SetR-tree or KcR-tree."""
+
+    def __init__(self, tree: RTreeBase, model: SimilarityModel = JACCARD) -> None:
+        self.tree = tree
+        self.model = model
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # internal: score an object entry exactly
+    # ------------------------------------------------------------------
+    def _object_score(
+        self,
+        loc: Tuple[float, float],
+        doc: KeywordSet,
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet,
+    ) -> float:
+        dist = self.tree.dataset.normalized_distance(loc, query.loc)
+        textual = self.model.similarity(doc, keywords)
+        return query.alpha * (1.0 - dist) + (1.0 - query.alpha) * textual
+
+    def score_object(
+        self,
+        obj: SpatialObject,
+        query: SpatialKeywordQuery,
+        keywords: Optional[KeywordSet] = None,
+    ) -> float:
+        """Exact Eqn 1 score of a known object (no index I/O)."""
+        doc = query.doc if keywords is None else keywords
+        return self._object_score(obj.loc, obj.doc, query, doc)
+
+    # ------------------------------------------------------------------
+    # top-k retrieval
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        query: SpatialKeywordQuery,
+        k: Optional[int] = None,
+        keywords: Optional[KeywordSet] = None,
+    ) -> List[Tuple[float, int]]:
+        """The ``k`` best ``(score, oid)`` pairs, best first.
+
+        Ties are broken by object id so results are deterministic and
+        comparable with the brute-force oracle.
+        """
+        limit = query.k if k is None else k
+        doc = query.doc if keywords is None else keywords
+        heap: List[Tuple[float, int, int, Optional[int]]] = []
+        # heap item: (-score_key, oid_tiebreak, seq, node_id or None)
+        self._push_node(heap, self.tree.root_id, float("inf"), -1)
+        results: List[Tuple[float, int]] = []
+        while heap and len(results) < limit:
+            neg_key, tiebreak, _, node_id = heapq.heappop(heap)
+            if node_id is None:
+                results.append((-neg_key, tiebreak))
+                continue
+            self._expand(heap, node_id, query, doc)
+        return results
+
+    # ------------------------------------------------------------------
+    # rank determination
+    # ------------------------------------------------------------------
+    def rank_of_missing(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        keywords: Optional[KeywordSet] = None,
+        stop_limit: Optional[int] = None,
+    ) -> RankResult:
+        """``R(M, q')`` via best-first search with optional early stop.
+
+        ``stop_limit`` is the largest rank that could still improve on
+        the current best refined query (Eqn 6); once the dominator
+        count reaches it the search aborts with ``rank=None``.
+        """
+        doc = query.doc if keywords is None else keywords
+        threshold = min(
+            self._object_score(m.loc, m.doc, query, doc) for m in missing
+        )
+        heap: List[Tuple[float, int, int, Optional[int]]] = []
+        self._push_node(heap, self.tree.root_id, float("inf"), -1)
+        dominators: List[int] = []
+        while heap:
+            neg_key, tiebreak, _, node_id = heap[0]
+            if -neg_key <= threshold:
+                break  # nothing left can strictly beat the worst missing object
+            heapq.heappop(heap)
+            if node_id is None:
+                # Every popped object scores strictly above the worst
+                # missing object, so it dominates — including another
+                # missing object (Eqn 3 counts all of D).
+                dominators.append(tiebreak)
+                if stop_limit is not None and len(dominators) >= stop_limit:
+                    return RankResult(
+                        rank=None, dominators=tuple(dominators), aborted=True
+                    )
+                continue
+            self._expand(heap, node_id, query, doc)
+        return RankResult(
+            rank=len(dominators) + 1, dominators=tuple(dominators), aborted=False
+        )
+
+    # ------------------------------------------------------------------
+    # heap plumbing
+    # ------------------------------------------------------------------
+    def _push_node(
+        self,
+        heap: List[Tuple[float, int, int, Optional[int]]],
+        node_id: int,
+        bound: float,
+        tiebreak: int,
+    ) -> None:
+        heapq.heappush(heap, (-bound, tiebreak, next(self._counter), node_id))
+
+    def _expand(
+        self,
+        heap: List[Tuple[float, int, int, Optional[int]]],
+        node_id: int,
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet,
+    ) -> None:
+        node = self.tree.fetch_node(node_id)
+        if node.is_leaf:
+            for entry in node.object_entries:
+                doc = self.tree.fetch_doc(entry.doc_record)
+                score = self._object_score(entry.loc, doc, query, keywords)
+                heapq.heappush(
+                    heap, (-score, entry.oid, next(self._counter), None)
+                )
+        else:
+            for entry in node.child_entries:
+                bound = self.tree.entry_score_bound(entry, query, keywords)
+                self._push_node(heap, entry.child_id, bound, -1)

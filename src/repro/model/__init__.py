@@ -1,0 +1,39 @@
+"""Data model: geometry, objects, queries, similarity, scoring, oracle."""
+
+from .geometry import Point, Rect, bounding_rect, euclidean, space_diagonal
+from .objects import Dataset, SpatialObject
+from .oracle import Oracle
+from .query import SpatialKeywordQuery, WhyNotQuestion
+from .scoring import Scorer
+from .similarity import (
+    COSINE,
+    DICE,
+    JACCARD,
+    CosineSetSimilarity,
+    DiceSimilarity,
+    JaccardSimilarity,
+    SimilarityModel,
+    get_model,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_rect",
+    "euclidean",
+    "space_diagonal",
+    "Dataset",
+    "SpatialObject",
+    "Oracle",
+    "SpatialKeywordQuery",
+    "WhyNotQuestion",
+    "Scorer",
+    "SimilarityModel",
+    "JaccardSimilarity",
+    "DiceSimilarity",
+    "CosineSetSimilarity",
+    "JACCARD",
+    "DICE",
+    "COSINE",
+    "get_model",
+]

@@ -1,0 +1,148 @@
+"""Vectorised brute-force oracle.
+
+A numpy implementation of the ranking function over the *whole*
+dataset.  It plays two roles:
+
+* **Ground truth in tests** — every index-based search and every bound
+  estimator is cross-checked against it.
+* **Fast reference baseline** — the experiment harness uses it to find
+  the object at a requested initial rank (the paper places the missing
+  object at rank ``5·k₀ + 1``) without paying tree-search cost during
+  workload construction.
+
+The oracle deliberately bypasses the storage layer: it does no I/O
+accounting and is not one of the compared algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .objects import Dataset
+from .query import SpatialKeywordQuery
+
+__all__ = ["Oracle"]
+
+KeywordSet = FrozenSet[int]
+
+
+class Oracle:
+    """Brute-force scorer over a dataset, vectorised with numpy.
+
+    Construction cost is one pass over the dataset to build the
+    location matrix and an inverted index from keyword id to the numpy
+    row indices of the objects containing it.  Jaccard similarity only
+    (the oracle exists to check the default configuration; the other
+    similarity models are cross-checked by the slower
+    :class:`repro.model.scoring.Scorer`).
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        objects = dataset.objects
+        self._oids = np.array([o.oid for o in objects], dtype=np.int64)
+        self._row_of: Dict[int, int] = {o.oid: i for i, o in enumerate(objects)}
+        self._locs = np.array([o.loc for o in objects], dtype=np.float64)
+        self._doc_len = np.array([len(o.doc) for o in objects], dtype=np.float64)
+        postings: Dict[int, List[int]] = {}
+        for row, obj in enumerate(objects):
+            for term in obj.doc:
+                postings.setdefault(term, []).append(row)
+        self._postings: Dict[int, np.ndarray] = {
+            term: np.array(rows, dtype=np.int64) for term, rows in postings.items()
+        }
+
+    # ------------------------------------------------------------------
+    # vectorised score components
+    # ------------------------------------------------------------------
+    def sdist(self, loc: Tuple[float, float]) -> np.ndarray:
+        """Normalised spatial distance of every object to ``loc``."""
+        deltas = self._locs - np.asarray(loc, dtype=np.float64)
+        dist = np.hypot(deltas[:, 0], deltas[:, 1]) / self.dataset.diagonal
+        return np.minimum(dist, 1.0)
+
+    def intersection_counts(self, keywords: Iterable[int]) -> np.ndarray:
+        """``|o.doc ∩ S|`` for every object, via the inverted index."""
+        counts = np.zeros(len(self._oids), dtype=np.float64)
+        for term in keywords:
+            rows = self._postings.get(term)
+            if rows is not None:
+                counts[rows] += 1.0
+        return counts
+
+    def tsim(self, keywords: KeywordSet) -> np.ndarray:
+        """Jaccard similarity of every object's document to ``keywords``."""
+        inter = self.intersection_counts(keywords)
+        union = self._doc_len + float(len(keywords)) - inter
+        # A completely empty document against an empty keyword set has
+        # union 0; Jaccard is defined as 0 there.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sims = np.where(union > 0.0, inter / union, 0.0)
+        return sims
+
+    def scores(
+        self, query: SpatialKeywordQuery, keywords: KeywordSet | None = None
+    ) -> np.ndarray:
+        """``ST`` (Eqn 1) for every object, optionally overriding keywords."""
+        doc = query.doc if keywords is None else keywords
+        spatial = 1.0 - self.sdist(query.loc)
+        textual = self.tsim(doc)
+        return query.alpha * spatial + (1.0 - query.alpha) * textual
+
+    # ------------------------------------------------------------------
+    # ranks and results
+    # ------------------------------------------------------------------
+    def rank(
+        self, oid: int, query: SpatialKeywordQuery, keywords: KeywordSet | None = None
+    ) -> int:
+        """``R(o, q)`` (Eqn 3): strictly-greater dominators plus one."""
+        scores = self.scores(query, keywords)
+        row = self._row_of[oid]
+        return int(np.count_nonzero(scores > scores[row])) + 1
+
+    def rank_of_set(
+        self,
+        oids: Sequence[int],
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet | None = None,
+    ) -> int:
+        """``R(M, q) = max_i R(m_i, q)`` with a single score evaluation."""
+        scores = self.scores(query, keywords)
+        ranks = [
+            int(np.count_nonzero(scores > scores[self._row_of[oid]])) + 1
+            for oid in oids
+        ]
+        return max(ranks)
+
+    def top_k_ids(
+        self, query: SpatialKeywordQuery, k: int | None = None
+    ) -> List[int]:
+        """Ids of the top-``k`` objects, best first, ties by id."""
+        limit = query.k if k is None else k
+        scores = self.scores(query)
+        order = np.lexsort((self._oids, -scores))
+        return [int(self._oids[i]) for i in order[:limit]]
+
+    def object_at_rank(self, query: SpatialKeywordQuery, rank: int) -> int:
+        """Id of the object whose Eqn-3 rank equals ``rank``.
+
+        When several objects tie, they share a rank; this returns the
+        lowest-id object whose rank is exactly ``rank``.  Raises
+        :class:`ValueError` when no object occupies the rank (a tie
+        group straddles it) — workload generation retries with a fresh
+        query in that case.
+        """
+        scores = self.scores(query)
+        order = np.lexsort((self._oids, -scores))
+        sorted_scores = scores[order]
+        # rank of the object at sorted position i = number of strictly
+        # greater scores + 1 = first position of its score group + 1.
+        if rank < 1 or rank > len(order):
+            raise ValueError(f"rank {rank} out of range 1..{len(order)}")
+        position = rank - 1
+        group_start = int(np.searchsorted(-sorted_scores, -sorted_scores[position]))
+        if group_start != position:
+            raise ValueError(f"no object has exact rank {rank} (tie group)")
+        return int(self._oids[order[position]])

@@ -1,0 +1,107 @@
+"""Query types: the spatial keyword top-k query and the why-not question.
+
+A spatial keyword top-k query is the 4-tuple ``(loc, doc, k, α)`` of
+Section III-A.  A why-not question (Section III-B) wraps an initial
+query together with the set of missing objects and the user's
+``λ``-preference between enlarging ``k`` and editing the keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from ..errors import InvalidParameterError, InvalidQueryError
+from .geometry import Point
+
+__all__ = ["SpatialKeywordQuery", "WhyNotQuestion"]
+
+KeywordSet = FrozenSet[int]
+
+
+def _as_keyword_set(keywords: Iterable[int]) -> KeywordSet:
+    doc = frozenset(keywords)
+    if any(not isinstance(t, int) for t in doc):
+        raise InvalidQueryError("query keywords must be interned integer ids")
+    return doc
+
+
+@dataclass(frozen=True)
+class SpatialKeywordQuery:
+    """The spatial keyword top-k query ``q = (loc, doc, k, α)``.
+
+    ``alpha`` is the preference between spatial proximity and textual
+    similarity in Eqn 1 and must lie strictly inside ``(0, 1)`` — the
+    paper defines it on the open interval, and the Theorem 2 threshold
+    divides by ``1 − α``.
+    """
+
+    loc: Point
+    doc: KeywordSet
+    k: int
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "doc", _as_keyword_set(self.doc))
+        if len(self.loc) != 2:
+            raise InvalidQueryError("query location must be a 2-tuple")
+        if self.k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {self.k}")
+        if not 0.0 < self.alpha < 1.0:
+            raise InvalidQueryError(
+                f"alpha must lie in the open interval (0, 1), got {self.alpha}"
+            )
+
+    def with_keywords(self, doc: Iterable[int]) -> "SpatialKeywordQuery":
+        """A copy of this query with a different keyword set.
+
+        This is how refined queries are materialised: the why-not
+        refinement only ever touches ``doc`` and ``k`` (Definition 2);
+        ``loc`` and ``α`` stay fixed.
+        """
+        return replace(self, doc=_as_keyword_set(doc))
+
+    def with_k(self, k: int) -> "SpatialKeywordQuery":
+        """A copy of this query with a different result size."""
+        return replace(self, k=k)
+
+    def with_alpha(self, alpha: float) -> "SpatialKeywordQuery":
+        """A copy with a different spatial/textual preference.
+
+        Used by the α-refinement extension (the integrated framework
+        the paper's conclusion sketches); keyword adaption itself never
+        touches ``α``.
+        """
+        return replace(self, alpha=alpha)
+
+
+@dataclass(frozen=True)
+class WhyNotQuestion:
+    """A why-not question over an initial query.
+
+    Parameters
+    ----------
+    query:
+        The initial spatial keyword top-k query the user issued.
+    missing:
+        Object ids the user expected in the result.  Must be non-empty;
+        validation that the ids exist and are actually missing happens
+        in the engine, which has access to the dataset.
+    lam:
+        The ``λ`` of the penalty model (Eqn 4): the user's preference
+        for modifying ``k`` versus modifying the keywords.  ``λ = 1``
+        charges only the ``k``-enlargement, ``λ = 0`` only keyword
+        edits; both endpoints are legal (the paper sweeps 0.1–0.9).
+    """
+
+    query: SpatialKeywordQuery
+    missing: Tuple[int, ...]
+    lam: float = 0.5
+
+    def __post_init__(self) -> None:
+        missing = tuple(dict.fromkeys(self.missing))  # dedupe, keep order
+        object.__setattr__(self, "missing", missing)
+        if not missing:
+            raise InvalidQueryError("a why-not question needs at least one missing object")
+        if not 0.0 <= self.lam <= 1.0:
+            raise InvalidParameterError(f"lambda must lie in [0, 1], got {self.lam}")

@@ -1,0 +1,109 @@
+"""The ranking function ``ST`` (Eqn 1) and object ranks (Eqn 3).
+
+:class:`Scorer` binds a dataset and a similarity model and evaluates
+scores for arbitrary ``(object, query)`` pairs.  It is the single
+source of truth for Eqn 1 in the library — the tree searches, the
+bound estimators, and the brute-force oracle all route through it (or
+reproduce its arithmetic under test).
+
+Rank semantics follow Eqn 3 exactly: the rank of ``o`` is one plus the
+number of objects with *strictly* greater score.  Objects tied with
+``o`` do not dominate it, so a refined query revives ``m`` as soon as
+``R(m, q') <= k'``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from .objects import Dataset, SpatialObject
+from .query import SpatialKeywordQuery
+from .similarity import JACCARD, SimilarityModel
+
+__all__ = ["Scorer"]
+
+KeywordSet = FrozenSet[int]
+
+
+class Scorer:
+    """Evaluates ``ST``, ``SDist``, ``TSim`` and ranks for one dataset."""
+
+    def __init__(self, dataset: Dataset, model: SimilarityModel = JACCARD) -> None:
+        self.dataset = dataset
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # score components
+    # ------------------------------------------------------------------
+    def sdist(self, obj: SpatialObject, query: SpatialKeywordQuery) -> float:
+        """Normalised spatial distance ``SDist(o, q)`` in ``[0, 1]``."""
+        return self.dataset.normalized_distance(obj.loc, query.loc)
+
+    def tsim(self, obj: SpatialObject, keywords: KeywordSet) -> float:
+        """Textual similarity ``TSim(o, q)`` under the bound model."""
+        return self.model.similarity(obj.doc, keywords)
+
+    def st(self, obj: SpatialObject, query: SpatialKeywordQuery) -> float:
+        """The ranking score of Eqn 1 (higher is better)."""
+        spatial = 1.0 - self.sdist(obj, query)
+        textual = self.model.similarity(obj.doc, query.doc)
+        return query.alpha * spatial + (1.0 - query.alpha) * textual
+
+    def st_with_keywords(
+        self, obj: SpatialObject, query: SpatialKeywordQuery, keywords: KeywordSet
+    ) -> float:
+        """Eqn 1 with the query's keywords replaced by ``keywords``.
+
+        The why-not algorithms evaluate thousands of candidate keyword
+        sets against a fixed ``(loc, α)``; this avoids materialising a
+        new query object per candidate.
+        """
+        spatial = 1.0 - self.sdist(obj, query)
+        textual = self.model.similarity(obj.doc, keywords)
+        return query.alpha * spatial + (1.0 - query.alpha) * textual
+
+    # ------------------------------------------------------------------
+    # ranks (linear-scan reference implementations)
+    # ------------------------------------------------------------------
+    def rank(self, obj: SpatialObject, query: SpatialKeywordQuery) -> int:
+        """``R(o, q)`` by full scan — the Eqn 3 reference semantics.
+
+        Index-based searches (:mod:`repro.index.search`) compute the
+        same value with far fewer object accesses; tests assert the two
+        agree.
+        """
+        target = self.st(obj, query)
+        dominators = sum(1 for other in self.dataset if self.st(other, query) > target)
+        return dominators + 1
+
+    def rank_of_set(
+        self, objects: Iterable[SpatialObject], query: SpatialKeywordQuery
+    ) -> int:
+        """``R(M, q) = max_i R(m_i, q)`` for a missing-object set."""
+        ranks = [self.rank(obj, query) for obj in objects]
+        if not ranks:
+            raise ValueError("rank_of_set() needs at least one object")
+        return max(ranks)
+
+    def top_k(
+        self, query: SpatialKeywordQuery, k: Optional[int] = None
+    ) -> Sequence[Tuple[float, SpatialObject]]:
+        """Top-``k`` objects by full scan, best first.
+
+        Ties are broken by object id for determinism.  This is the
+        reference result for Definition 1; the SetR-tree search must
+        return a permutation of it (same score multiset).
+        """
+        limit = query.k if k is None else k
+        scored = sorted(
+            ((self.st(obj, query), obj) for obj in self.dataset),
+            key=lambda pair: (-pair[0], pair[1].oid),
+        )
+        return scored[:limit]
+
+    def dominators(
+        self, obj: SpatialObject, query: SpatialKeywordQuery
+    ) -> Sequence[SpatialObject]:
+        """All objects that strictly out-score ``obj`` under ``query``."""
+        target = self.st(obj, query)
+        return [other for other in self.dataset if self.st(other, query) > target]

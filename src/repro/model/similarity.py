@@ -1,0 +1,147 @@
+"""Textual similarity models.
+
+Eqn 2 of the paper adopts Jaccard similarity; footnote 1 notes that the
+framework extends to other set-based models such as the Dice
+coefficient and (set-based) Cosine similarity.  All three are provided
+behind one tiny strategy interface so the basic and advanced why-not
+algorithms can run under any of them, as the footnote promises.
+
+Only Jaccard has the union/intersection bound structure that the
+SetR-tree (Theorem 1) and KcR-tree (Theorem 3) exploit, so the
+index-based bounds stay Jaccard-specific; the other models fall back to
+a generic, still-admissible upper bound (intersection over the larger
+of the two minimum-union estimates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Protocol
+
+__all__ = [
+    "SimilarityModel",
+    "JaccardSimilarity",
+    "DiceSimilarity",
+    "CosineSetSimilarity",
+    "JACCARD",
+    "DICE",
+    "COSINE",
+    "get_model",
+]
+
+KeywordSet = FrozenSet[int]
+
+
+class SimilarityModel(Protocol):
+    """Strategy interface for set-based textual similarity."""
+
+    name: str
+
+    def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
+        """Similarity in ``[0, 1]`` between a document and a query."""
+
+    def node_upper_bound(
+        self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
+    ) -> float:
+        """Upper bound on the similarity of any document ``d`` with
+        ``intersection ⊆ d ⊆ union`` to ``query``.
+
+        This is the textual half of Theorem 1.  Implementations must
+        never under-estimate; looser is allowed (costs pruning power,
+        not correctness).
+        """
+
+
+class JaccardSimilarity:
+    """Jaccard similarity (Eqn 2): ``|d ∩ q| / |d ∪ q|``."""
+
+    name = "jaccard"
+
+    def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
+        if not doc and not query:
+            return 0.0
+        inter = len(doc & query)
+        union = len(doc) + len(query) - inter
+        return inter / union if union else 0.0
+
+    def node_upper_bound(
+        self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
+    ) -> float:
+        # Theorem 1: |N∪ ∩ q| / |N∩ ∪ q| — the numerator is maximised
+        # by the union set, the denominator minimised by the
+        # intersection set.
+        numerator = len(union & query)
+        if numerator == 0:
+            return 0.0
+        denominator = len(intersection | query)
+        return numerator / denominator if denominator else 0.0
+
+
+class DiceSimilarity:
+    """Dice coefficient: ``2|d ∩ q| / (|d| + |q|)``."""
+
+    name = "dice"
+
+    def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
+        total = len(doc) + len(query)
+        if total == 0:
+            return 0.0
+        return 2.0 * len(doc & query) / total
+
+    def node_upper_bound(
+        self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
+    ) -> float:
+        # Any document contains the node intersection, so |d| >= |N∩|;
+        # the intersection with q is at most |N∪ ∩ q|.
+        numerator = 2.0 * len(union & query)
+        if numerator == 0.0:
+            return 0.0
+        denominator = len(intersection) + len(query)
+        # A document also has |d ∩ q| <= |d|, so the bound never needs
+        # to exceed 1.
+        if denominator == 0:
+            return 0.0
+        return min(1.0, numerator / denominator)
+
+
+class CosineSetSimilarity:
+    """Set-based cosine: ``|d ∩ q| / sqrt(|d| · |q|)``."""
+
+    name = "cosine"
+
+    def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
+        if not doc or not query:
+            return 0.0
+        return len(doc & query) / math.sqrt(len(doc) * len(query))
+
+    def node_upper_bound(
+        self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
+    ) -> float:
+        numerator = len(union & query)
+        if numerator == 0:
+            return 0.0
+        if not query:
+            return 0.0
+        # |d| >= max(|N∩|, |d ∩ q|); using |N∩| alone is admissible,
+        # but when the node intersection is empty we still know
+        # |d| >= |d ∩ q| which caps the bound at sqrt(|d∩q| / |q|).
+        denom_doc = max(len(intersection), 1)
+        bound = numerator / math.sqrt(denom_doc * len(query))
+        return min(1.0, bound)
+
+
+JACCARD = JaccardSimilarity()
+DICE = DiceSimilarity()
+COSINE = CosineSetSimilarity()
+
+_MODELS = {m.name: m for m in (JACCARD, DICE, COSINE)}
+
+
+def get_model(name: str) -> SimilarityModel:
+    """Look up a similarity model by name (``jaccard``/``dice``/``cosine``)."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown similarity model {name!r}; expected one of {sorted(_MODELS)}"
+        ) from None

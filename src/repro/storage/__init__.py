@@ -1,0 +1,28 @@
+"""Simulated disk substrate: pager, buffer pool, layout model, stats."""
+
+from .buffer_pool import DEFAULT_BUFFER_BYTES, BufferPool
+from .layout import (
+    ENTRY_BYTES,
+    NODE_HEADER_BYTES,
+    keyword_count_map_bytes,
+    keyword_set_bytes,
+    node_bytes,
+    set_pair_bytes,
+)
+from .pager import PAGE_SIZE, Pager
+from .stats import IOSnapshot, IOStatistics
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_BUFFER_BYTES",
+    "Pager",
+    "PAGE_SIZE",
+    "IOSnapshot",
+    "IOStatistics",
+    "ENTRY_BYTES",
+    "NODE_HEADER_BYTES",
+    "node_bytes",
+    "keyword_set_bytes",
+    "set_pair_bytes",
+    "keyword_count_map_bytes",
+]

@@ -1,0 +1,62 @@
+"""Byte-size model for on-disk index structures.
+
+The simulated pager needs a byte count per record to derive page
+spans.  These estimates mirror a straightforward binary layout of the
+paper's structures:
+
+* R-tree entry: object/child id (8 B) + MBR (4 × 8 B doubles) +
+  payload pointer (8 B) = 48 B; node header 16 B.
+* Keyword set payload: 4 B per interned keyword id.  SetR-tree non-leaf
+  nodes store the union and intersection sets "sequentially on disk"
+  (Section IV-B), so the two ship as one record whose size is the sum.
+* Keyword-count map (KcR-tree): 4 B keyword id + 4 B count per entry,
+  plus an 8 B ``cnt`` header.
+
+Only the resulting page spans matter for the reproduced I/O metric;
+the constants here are deliberately simple and centralised so a reader
+can audit the I/O model in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = [
+    "ENTRY_BYTES",
+    "NODE_HEADER_BYTES",
+    "KEYWORD_ID_BYTES",
+    "KEYWORD_COUNT_BYTES",
+    "node_bytes",
+    "keyword_set_bytes",
+    "set_pair_bytes",
+    "keyword_count_map_bytes",
+]
+
+ENTRY_BYTES = 48
+NODE_HEADER_BYTES = 16
+KEYWORD_ID_BYTES = 4
+KEYWORD_COUNT_BYTES = 8  # 4 B id + 4 B count
+
+
+def node_bytes(fanout: int) -> int:
+    """Bytes of a tree node holding ``fanout`` entries."""
+    return NODE_HEADER_BYTES + fanout * ENTRY_BYTES
+
+
+def keyword_set_bytes(size: int) -> int:
+    """Bytes of a serialised keyword set of ``size`` terms."""
+    return max(KEYWORD_ID_BYTES, size * KEYWORD_ID_BYTES)
+
+
+def set_pair_bytes(union_size: int, intersection_size: int) -> int:
+    """Bytes of a SetR-tree union+intersection payload (one record).
+
+    Stored sequentially as the paper prescribes, so a single record —
+    one disk seek — covers both sets.
+    """
+    return keyword_set_bytes(union_size) + keyword_set_bytes(intersection_size)
+
+
+def keyword_count_map_bytes(entries: int) -> int:
+    """Bytes of a KcR-tree keyword-count map with ``entries`` keys."""
+    return 8 + max(KEYWORD_COUNT_BYTES, entries * KEYWORD_COUNT_BYTES)

@@ -1,0 +1,81 @@
+"""I/O accounting.
+
+The paper's evaluation reports two metrics: query time and "the number
+of I/Os" (Section VII-A1).  :class:`IOStatistics` is the single
+counter object the storage layer feeds; the experiment harness
+snapshots it around each why-not query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStatistics", "IOSnapshot"]
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """An immutable copy of the counters at one instant."""
+
+    page_reads: int
+    page_writes: int
+    buffer_hits: int
+    node_fetches: int
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            buffer_hits=self.buffer_hits - other.buffer_hits,
+            node_fetches=self.node_fetches - other.node_fetches,
+        )
+
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+            node_fetches=self.node_fetches + other.node_fetches,
+        )
+
+    @property
+    def total_ios(self) -> int:
+        """Page reads plus writes — the paper's "number of I/Os"."""
+        return self.page_reads + self.page_writes
+
+
+@dataclass
+class IOStatistics:
+    """Mutable I/O counters shared by a pager and its buffer pool.
+
+    ``page_reads``/``page_writes`` count 4 KB page transfers that went
+    to the simulated disk; ``buffer_hits`` counts fetches satisfied by
+    the buffer pool; ``node_fetches`` counts logical node accesses
+    regardless of caching (useful for algorithmic comparisons that
+    should not depend on buffer luck).
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    node_fetches: int = 0
+
+    def snapshot(self) -> IOSnapshot:
+        """Immutable copy of the counters (subtract pairs for deltas)."""
+        return IOSnapshot(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            buffer_hits=self.buffer_hits,
+            node_fetches=self.node_fetches,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.buffer_hits = 0
+        self.node_fetches = 0
+
+    @property
+    def total_ios(self) -> int:
+        return self.page_reads + self.page_writes

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Index construction over the shared synthetic dataset is the expensive
+part of the suite, so the dataset, oracle, and both trees are
+session-scoped.  Tests that mutate buffer state must go through
+``engine.reset_buffers()`` (metrics) — the structures themselves are
+immutable after build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Oracle,
+    SpatialKeywordQuery,
+    WhyNotEngine,
+    WhyNotQuestion,
+    make_euro_like,
+    make_micro_example,
+)
+
+
+@pytest.fixture(scope="session")
+def micro():
+    """The paper's Fig 1 / Table I four-object example."""
+    dataset, vocabulary = make_micro_example()
+    return dataset, vocabulary
+
+
+@pytest.fixture(scope="session")
+def euro_small():
+    """A small EURO-like dataset shared across the suite."""
+    dataset, vocabulary = make_euro_like(1200, seed=42)
+    return dataset, vocabulary
+
+
+@pytest.fixture(scope="session")
+def euro_engine(euro_small):
+    dataset, _ = euro_small
+    return WhyNotEngine(dataset)
+
+
+@pytest.fixture(scope="session")
+def euro_oracle(euro_small):
+    dataset, _ = euro_small
+    return Oracle(dataset)
+
+
+@pytest.fixture(scope="session")
+def euro_cases(euro_small, euro_oracle):
+    """A handful of valid why-not questions over the shared dataset."""
+    dataset, _ = euro_small
+    rng = np.random.default_rng(7)
+    cases = []
+    attempts = 0
+    while len(cases) < 6 and attempts < 500:
+        attempts += 1
+        seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(seed_obj.doc)[:3])
+        if len(doc) < 2:
+            continue
+        query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5, alpha=0.5)
+        try:
+            missing = euro_oracle.object_at_rank(query, 26)
+        except ValueError:
+            continue
+        if len(dataset.get(missing).doc - query.doc) > 5:
+            continue
+        cases.append(WhyNotQuestion(query, (missing,), lam=0.5))
+    assert len(cases) == 6, "fixture could not build its workload"
+    return cases

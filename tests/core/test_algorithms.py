@@ -1,0 +1,214 @@
+"""Integration tests: BS, AdvancedBS, and KcRBased on real workloads.
+
+The central invariant: all exact algorithms return the same (optimal)
+penalty on every question, equal to the brute-force oracle optimum.
+"""
+
+import pytest
+
+from repro import (
+    AdvancedAlgorithm,
+    BasicAlgorithm,
+    KcRAlgorithm,
+    MissingObjectError,
+    Oracle,
+    PenaltyModel,
+    SpatialKeywordQuery,
+    WhyNotQuestion,
+)
+from repro.core.context import QuestionContext
+
+
+def _brute_force_penalty(question, dataset, oracle):
+    """Reference optimum by full enumeration + numpy ranking."""
+    query = question.query
+    missing_docs = [dataset.get(m).doc for m in question.missing]
+    missing_doc = frozenset().union(*missing_docs)
+    initial_rank = oracle.rank_of_set(question.missing, query)
+    pm = PenaltyModel(
+        k0=query.k,
+        initial_rank=initial_rank,
+        doc_universe_size=len(query.doc | missing_doc),
+        lam=question.lam,
+    )
+    from repro.core.candidates import CandidateEnumerator
+
+    enumerator = CandidateEnumerator(query.doc, missing_doc)
+    best = pm.basic_penalty
+    for candidate in enumerator.iter_naive():
+        rank = oracle.rank_of_set(question.missing, query, candidate.keywords)
+        penalty = pm.penalty(candidate.delta_doc, rank)
+        if penalty < best:
+            best = penalty
+    return best, initial_rank
+
+
+@pytest.fixture(scope="module")
+def reference(euro_small, euro_oracle, euro_cases):
+    dataset, _ = euro_small
+    return [
+        _brute_force_penalty(question, dataset, euro_oracle)
+        for question in euro_cases
+    ]
+
+
+class TestExactOptimality:
+    @pytest.mark.parametrize("method", ["basic", "advanced", "kcr"])
+    def test_penalty_matches_brute_force(
+        self, euro_engine, euro_cases, reference, method
+    ):
+        for question, (expected_penalty, expected_rank) in zip(
+            euro_cases, reference
+        ):
+            answer = euro_engine.answer(question, method=method)
+            assert answer.initial_rank == expected_rank
+            assert answer.refined.penalty == pytest.approx(expected_penalty)
+
+    def test_refined_query_revives_missing(self, euro_engine, euro_cases):
+        for question in euro_cases:
+            answer = euro_engine.answer(question, method="kcr")
+            refined = answer.refined.as_query(question.query)
+            result = euro_engine.top_k(refined)
+            result_ids = {oid for _, oid in result}
+            for m in question.missing:
+                assert m in result_ids, "refined query must contain the missing object"
+
+    def test_reported_rank_is_true_rank(
+        self, euro_engine, euro_oracle, euro_cases
+    ):
+        for question in euro_cases:
+            answer = euro_engine.answer(question, method="kcr")
+            true_rank = euro_oracle.rank_of_set(
+                question.missing, question.query, answer.refined.keywords
+            )
+            assert answer.refined.rank == true_rank
+
+
+class TestAdvancedAblations:
+    """Every optimization subset must stay exact (Fig 11's premise)."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(early_stop=True, ordering=False, filtering=False),
+            dict(early_stop=False, ordering=True, filtering=False),
+            dict(early_stop=False, ordering=False, filtering=True),
+            dict(early_stop=True, ordering=True, filtering=False),
+            dict(early_stop=False, ordering=False, filtering=False),
+        ],
+    )
+    def test_ablation_exact(self, euro_engine, euro_cases, reference, flags):
+        question = euro_cases[0]
+        expected_penalty, _ = reference[0]
+        answer = euro_engine.answer(question, method="advanced", **flags)
+        assert answer.refined.penalty == pytest.approx(expected_penalty)
+
+    def test_names_reflect_flags(self, euro_engine):
+        algo = AdvancedAlgorithm(euro_engine.setr_tree, ordering=False)
+        assert algo.name == "BS+Opt1+Opt3"
+        full = AdvancedAlgorithm(euro_engine.setr_tree)
+        assert full.name == "AdvancedBS"
+        bare = AdvancedAlgorithm(
+            euro_engine.setr_tree, early_stop=False, ordering=False, filtering=False
+        )
+        assert bare.name == "BS"
+
+    def test_optimizations_reduce_work(self, euro_engine, euro_cases):
+        """AdvancedBS must evaluate (strictly) fewer candidates than BS."""
+        question = euro_cases[0]
+        basic = euro_engine.answer(question, method="basic")
+        advanced = euro_engine.answer(question, method="advanced")
+        assert (
+            advanced.counters.candidates_evaluated
+            < basic.counters.candidates_evaluated
+        )
+
+    def test_early_stop_aborts_some_searches(self, euro_engine, euro_cases):
+        aborted = 0
+        for question in euro_cases:
+            answer = euro_engine.answer(
+                question, method="advanced", filtering=False
+            )
+            aborted += answer.counters.aborted_early
+        assert aborted > 0
+
+
+class TestMultipleMissing:
+    def _multi_question(self, euro_small, euro_oracle):
+        dataset, _ = euro_small
+        import numpy as np
+
+        rng = np.random.default_rng(19)
+        while True:
+            obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+            doc = frozenset(list(obj.doc)[:3])
+            if len(doc) < 2:
+                continue
+            query = SpatialKeywordQuery(loc=obj.loc, doc=doc, k=5)
+            scores = euro_oracle.scores(query)
+            import numpy as np2  # noqa: F401
+
+            order = euro_oracle.top_k_ids(query, k=30)
+            pool = [
+                oid
+                for oid in order[8:30]
+                if len(dataset.get(oid).doc - query.doc) <= 4
+            ]
+            if len(pool) >= 2:
+                return WhyNotQuestion(query, tuple(pool[:2]), lam=0.5)
+
+    @pytest.mark.parametrize("method", ["basic", "advanced", "kcr"])
+    def test_multi_missing_agreement(
+        self, euro_small, euro_oracle, euro_engine, method
+    ):
+        dataset, _ = euro_small
+        question = self._multi_question(euro_small, euro_oracle)
+        expected, expected_rank = _brute_force_penalty(
+            question, dataset, euro_oracle
+        )
+        answer = euro_engine.answer(question, method=method)
+        assert answer.initial_rank == expected_rank
+        assert answer.refined.penalty == pytest.approx(expected)
+
+    def test_multi_missing_all_revived(self, euro_small, euro_oracle, euro_engine):
+        question = self._multi_question(euro_small, euro_oracle)
+        answer = euro_engine.answer(question, method="kcr")
+        refined = answer.refined.as_query(question.query)
+        result_ids = {oid for _, oid in euro_engine.top_k(refined)}
+        for m in question.missing:
+            assert m in result_ids
+
+
+class TestValidation:
+    def test_object_already_in_result_rejected(self, euro_engine, euro_oracle):
+        dataset = euro_engine.dataset
+        obj = dataset.objects[0]
+        doc = frozenset(list(obj.doc)[:2]) or frozenset({0})
+        query = SpatialKeywordQuery(loc=obj.loc, doc=doc, k=10)
+        top1 = euro_oracle.top_k_ids(query, k=1)[0]
+        with pytest.raises(MissingObjectError):
+            euro_engine.answer(
+                WhyNotQuestion(query, (top1,)), method="advanced"
+            )
+
+    def test_unknown_missing_object_rejected(self, euro_engine):
+        query = SpatialKeywordQuery(loc=(0.5, 0.5), doc=frozenset({0}), k=5)
+        from repro import DatasetError
+
+        with pytest.raises(DatasetError):
+            euro_engine.answer(
+                WhyNotQuestion(query, (10**9,)), method="advanced"
+            )
+
+
+class TestAnswerMetadata:
+    def test_answer_carries_metrics(self, euro_engine, euro_cases):
+        euro_engine.reset_buffers()
+        answer = euro_engine.answer(euro_cases[0], method="kcr")
+        assert answer.elapsed_seconds > 0
+        assert answer.io.page_reads > 0
+        assert answer.algorithm == "KcRBased"
+
+    def test_is_basic_refinement_flag(self, euro_engine, euro_cases):
+        answer = euro_engine.answer(euro_cases[0], method="kcr")
+        assert answer.is_basic_refinement == (answer.refined.delta_doc == 0)

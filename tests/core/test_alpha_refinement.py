@@ -1,0 +1,87 @@
+"""Tests for the α-refinement extension and the integrated framework."""
+
+import pytest
+
+from repro import (
+    AlphaRefinementAlgorithm,
+    IntegratedAlgorithm,
+    InvalidParameterError,
+    Oracle,
+)
+
+
+class TestValidation:
+    def test_positive_samples_required(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            AlphaRefinementAlgorithm(euro_engine.setr_tree, n_samples=0)
+
+
+class TestAlphaRefinement:
+    def test_never_worse_than_basic(self, euro_engine, euro_cases):
+        for question in euro_cases[:3]:
+            answer = euro_engine.answer(question, method="alpha")
+            assert answer.refined.penalty <= question.lam + 1e-12
+
+    def test_keywords_untouched(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        answer = euro_engine.answer(question, method="alpha")
+        assert answer.refined.keywords == question.query.doc
+        assert answer.refined.delta_doc == 0
+
+    def test_refined_alpha_actually_revives(
+        self, euro_engine, euro_oracle, euro_cases
+    ):
+        for question in euro_cases[:4]:
+            answer = euro_engine.answer(question, method="alpha")
+            refined = answer.refined.as_query(question.query)
+            rank = euro_oracle.rank_of_set(question.missing, refined)
+            assert rank <= refined.k
+
+    def test_reported_rank_matches_oracle(
+        self, euro_engine, euro_oracle, euro_cases
+    ):
+        question = euro_cases[1]
+        answer = euro_engine.answer(question, method="alpha")
+        if answer.refined.alpha is None:
+            pytest.skip("basic refinement won; no alpha to check")
+        refined = answer.refined.as_query(question.query)
+        assert answer.refined.rank == euro_oracle.rank_of_set(
+            question.missing, refined
+        )
+
+    def test_more_samples_never_worse(self, euro_engine, euro_cases):
+        question = euro_cases[2]
+        coarse = AlphaRefinementAlgorithm(
+            euro_engine.setr_tree, n_samples=8
+        ).answer(question)
+        fine = AlphaRefinementAlgorithm(
+            euro_engine.setr_tree, n_samples=128
+        ).answer(question)
+        assert fine.refined.penalty <= coarse.refined.penalty + 1e-9
+
+    def test_describe_shows_alpha(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        answer = euro_engine.answer(question, method="alpha")
+        if answer.refined.alpha is not None:
+            assert "alpha=" in answer.refined.describe()
+
+
+class TestIntegrated:
+    def test_beats_or_ties_both_legs(self, euro_engine, euro_cases):
+        for question in euro_cases[:3]:
+            keyword = euro_engine.answer(question, method="kcr")
+            alpha = euro_engine.answer(question, method="alpha")
+            integrated = euro_engine.answer(question, method="integrated")
+            best_leg = min(keyword.refined.penalty, alpha.refined.penalty)
+            assert integrated.refined.penalty <= best_leg + 1e-9
+
+    def test_winner_labelled(self, euro_engine, euro_cases):
+        answer = euro_engine.answer(euro_cases[0], method="integrated")
+        assert answer.algorithm.startswith("Integrated(")
+
+    def test_winner_revives(self, euro_engine, euro_oracle, euro_cases):
+        question = euro_cases[1]
+        answer = euro_engine.answer(question, method="integrated")
+        refined = answer.refined.as_query(question.query)
+        rank = euro_oracle.rank_of_set(question.missing, refined)
+        assert rank <= refined.k

@@ -1,0 +1,95 @@
+"""Integration tests for the sampling-based approximate algorithm."""
+
+import pytest
+
+from repro import (
+    ApproximateAlgorithm,
+    InvalidParameterError,
+    WhyNotQuestion,
+)
+
+
+class TestValidation:
+    def test_sample_size_positive(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            ApproximateAlgorithm(euro_engine.kcr_tree, 0)
+
+    def test_unknown_strategy(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            ApproximateAlgorithm(euro_engine.kcr_tree, 10, strategy="magic")
+
+    def test_tree_type_enforced(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            ApproximateAlgorithm(euro_engine.setr_tree, 10, strategy="kcr")
+        with pytest.raises(InvalidParameterError):
+            ApproximateAlgorithm(euro_engine.kcr_tree, 10, strategy="bs")
+
+
+class TestQuality:
+    @pytest.mark.parametrize("strategy", ["bs", "advanced", "kcr"])
+    def test_never_worse_than_basic_refinement(
+        self, euro_engine, euro_cases, strategy
+    ):
+        question = euro_cases[0]
+        answer = euro_engine.answer(
+            question, method="approximate", sample_size=5, strategy=strategy
+        )
+        assert answer.refined.penalty <= question.lam + 1e-12
+
+    def test_penalty_never_below_exact(self, euro_engine, euro_cases):
+        for question in euro_cases[:3]:
+            exact = euro_engine.answer(question, method="kcr")
+            approx = euro_engine.answer(
+                question, method="approximate", sample_size=10, strategy="kcr"
+            )
+            assert approx.refined.penalty >= exact.refined.penalty - 1e-12
+
+    def test_full_sample_matches_exact(self, euro_engine, euro_cases):
+        """A sample covering the whole space must return the optimum."""
+        question = euro_cases[0]
+        exact = euro_engine.answer(question, method="kcr")
+        approx = euro_engine.answer(
+            question, method="approximate", sample_size=100_000, strategy="kcr"
+        )
+        assert approx.refined.penalty == pytest.approx(exact.refined.penalty)
+
+    def test_same_sample_same_penalty_across_strategies(
+        self, euro_engine, euro_cases
+    ):
+        """Fig 12: all strategies evaluate the same sample, so the
+        returned penalties agree; only runtimes differ."""
+        question = euro_cases[1]
+        penalties = {
+            strategy: euro_engine.answer(
+                question,
+                method="approximate",
+                sample_size=20,
+                strategy=strategy,
+            ).refined.penalty
+            for strategy in ("bs", "advanced", "kcr")
+        }
+        values = list(penalties.values())
+        assert all(abs(v - values[0]) < 1e-9 for v in values), penalties
+
+    def test_larger_sample_never_hurts(self, euro_engine, euro_cases):
+        question = euro_cases[2]
+        small = euro_engine.answer(
+            question, method="approximate", sample_size=3, strategy="kcr"
+        )
+        large = euro_engine.answer(
+            question, method="approximate", sample_size=50, strategy="kcr"
+        )
+        assert large.refined.penalty <= small.refined.penalty + 1e-12
+
+    def test_revives_missing_objects(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        answer = euro_engine.answer(
+            question, method="approximate", sample_size=10, strategy="advanced"
+        )
+        refined = answer.refined.as_query(question.query)
+        result_ids = {oid for _, oid in euro_engine.top_k(refined)}
+        assert all(m in result_ids for m in question.missing)
+
+    def test_algorithm_name(self, euro_engine):
+        algo = ApproximateAlgorithm(euro_engine.kcr_tree, 50, strategy="kcr")
+        assert algo.name == "Approx-KCR(T=50)"

@@ -1,0 +1,63 @@
+"""Focused tests for the Theorem-2 threshold pair in realistic settings."""
+
+import pytest
+
+from repro.core.bounds import DominationThresholds, NodeTextStats, max_dom, min_dom
+from repro.model.geometry import Rect
+
+
+class TestThresholdSemantics:
+    def test_node_at_query_location(self):
+        """A node containing the query point has MinDist 0; the lower
+        threshold then reduces to TSim(m,S) - ratio*SDist(m)."""
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        t = DominationThresholds(rect, (0.5, 0.5), 2.0**0.5, 0.5, 0.3, 0.4)
+        assert t.lower == pytest.approx(1.0 * (0.0 - 0.3) + 0.4)
+
+    def test_far_node_high_lower_threshold(self):
+        """A node much farther than the missing object needs a large
+        textual edge to dominate — lower threshold above TSim(m, S)."""
+        rect = Rect(0.9, 0.9, 1.0, 1.0)
+        t = DominationThresholds(rect, (0.0, 0.0), 2.0**0.5, 0.5, 0.1, 0.4)
+        assert t.lower > 0.4
+
+    def test_near_node_negative_lower_threshold(self):
+        """A node much closer than the missing object dominates even
+        with zero textual similarity: lower threshold < 0."""
+        rect = Rect(0.0, 0.0, 0.05, 0.05)
+        t = DominationThresholds(rect, (0.0, 0.0), 2.0**0.5, 0.5, 0.9, 0.1)
+        assert t.lower < 0.0
+
+    def test_distance_clamping(self):
+        """Distances normalise against the diagonal and clamp at 1 so
+        out-of-extent geometry cannot push thresholds past the model."""
+        rect = Rect(10.0, 10.0, 11.0, 11.0)  # far outside the unit space
+        t = DominationThresholds(rect, (0.0, 0.0), 2.0**0.5, 0.5, 0.2, 0.3)
+        # min_d = max_d = 1.0 after clamping
+        assert t.lower == pytest.approx(1.0 * (1.0 - 0.2) + 0.3)
+        assert t.upper == pytest.approx(t.lower)
+
+
+class TestBoundsAtThresholdBoundaries:
+    def test_whole_pipeline_near_node(self):
+        """near node + weak missing object: everything dominates."""
+        stats = NodeTextStats(5, {1: 5, 2: 3})
+        assert max_dom(stats, frozenset({1}), -0.2) == 5
+        assert min_dom(stats, frozenset({1}), -0.2) == 5
+
+    def test_whole_pipeline_far_node(self):
+        """far node + strong missing object: nothing can dominate."""
+        stats = NodeTextStats(5, {1: 5, 2: 3})
+        assert max_dom(stats, frozenset({1}), 1.2) == 0
+        assert min_dom(stats, frozenset({1}), 1.2) == 0
+
+    def test_interior_monotone_in_threshold(self):
+        """MaxDom is non-increasing and MinDom non-increasing in the
+        threshold: a harder bar can only shrink both counts."""
+        stats = NodeTextStats(8, {1: 8, 2: 3, 3: 7, 4: 2, 5: 1})
+        keywords = frozenset({3, 4})
+        thresholds = [0.05, 0.15, 0.3, 0.5, 0.7, 0.9]
+        maxes = [max_dom(stats, keywords, t) for t in thresholds]
+        mins = [min_dom(stats, keywords, t) for t in thresholds]
+        assert maxes == sorted(maxes, reverse=True)
+        assert mins == sorted(mins, reverse=True)

@@ -1,0 +1,139 @@
+"""Unit tests for candidate keyword-set enumeration."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    CandidateEnumerator,
+    Dataset,
+    ParticularityIndex,
+    SpatialObject,
+)
+
+
+def _enumerator(doc0={1, 2}, missing_doc={2, 3, 4}, with_parti=False):
+    particularity = None
+    if with_parti:
+        objects = [
+            SpatialObject(oid=0, loc=(0.0, 0.0), doc=frozenset(missing_doc)),
+            SpatialObject(oid=1, loc=(0.1, 0.0), doc=frozenset({2})),
+            SpatialObject(oid=2, loc=(0.2, 0.0), doc=frozenset({2, 9})),
+            SpatialObject(oid=3, loc=(0.3, 0.0), doc=frozenset({9})),
+        ]
+        dataset = Dataset(objects)
+        particularity = ParticularityIndex(dataset, [dataset.get(0)])
+    return CandidateEnumerator(
+        frozenset(doc0), frozenset(missing_doc), particularity=particularity
+    )
+
+
+class TestSpace:
+    def test_addable_removable(self):
+        e = _enumerator()
+        assert e.addable == (3, 4)  # missing_doc - doc0
+        assert e.removable == (1, 2)
+        assert e.edit_universe == 4
+        assert e.universe_size == 4  # |{1,2} ∪ {2,3,4}|
+
+    def test_total_candidates_counts_exclusions(self):
+        # identity and the delete-all/add-nothing (empty set) excluded
+        e = _enumerator()
+        assert e.total_candidates() == 2**4 - 2
+        e2 = _enumerator(doc0={1, 2}, missing_doc={1, 2})
+        assert e2.addable == ()
+        assert e2.total_candidates() == 2**2 - 2
+
+    def test_naive_enumeration_complete_and_distinct(self):
+        e = _enumerator()
+        candidates = list(e.iter_naive())
+        assert len(candidates) == e.total_candidates()
+        keys = {(c.added, c.removed) for c in candidates}
+        assert len(keys) == len(candidates)
+
+    def test_no_empty_and_no_identity(self):
+        e = _enumerator(doc0={1}, missing_doc={1})
+        for candidate in e.iter_naive():
+            assert candidate.keywords
+            assert candidate.delta_doc > 0
+
+    def test_keywords_are_consistent_with_edits(self):
+        e = _enumerator()
+        for candidate in e.iter_naive():
+            expected = (frozenset({1, 2}) - candidate.removed) | candidate.added
+            assert candidate.keywords == expected
+            assert candidate.added <= frozenset({3, 4})
+            assert candidate.removed <= frozenset({1, 2})
+
+
+class TestPaperOrder:
+    def test_distance_non_decreasing(self):
+        e = _enumerator(with_parti=True)
+        distances = [c.delta_doc for c in e.iter_paper_order()]
+        assert distances == sorted(distances)
+
+    def test_ties_sorted_by_gain_descending(self):
+        e = _enumerator(with_parti=True)
+        for distance in (1, 2):
+            gains = [c.gain for c in e.at_distance(distance)]
+            assert gains == sorted(gains, reverse=True)
+
+    def test_at_distance_partition(self):
+        e = _enumerator()
+        total = sum(len(e.at_distance(d)) for d in range(1, e.edit_universe + 1))
+        assert total == e.total_candidates()
+
+    def test_paper_order_covers_space(self):
+        e = _enumerator(with_parti=True)
+        paper = {c.keywords for c in e.iter_paper_order()}
+        naive = {c.keywords for c in e.iter_naive()}
+        assert paper == naive
+
+
+class TestTopByGain:
+    def test_requires_particularity(self):
+        with pytest.raises(ValueError):
+            _enumerator().top_by_gain(5)
+
+    def test_sample_size_positive(self):
+        with pytest.raises(ValueError):
+            _enumerator(with_parti=True).top_by_gain(0)
+
+    def test_returns_requested_count(self):
+        e = _enumerator(with_parti=True)
+        sample = e.top_by_gain(5)
+        assert len(sample) == 5
+        assert len({c.keywords for c in sample}) == 5
+
+    def test_matches_exhaustive_top_t(self):
+        """The lattice walk must return exactly the T highest-gain
+        candidates that full enumeration would."""
+        e = _enumerator(with_parti=True)
+        exhaustive = sorted(
+            (c for c in e.iter_paper_order()), key=lambda c: -c.gain
+        )
+        for t in (1, 3, 7, e.total_candidates()):
+            sample = e.top_by_gain(t)
+            got = sorted(round(c.gain, 9) for c in sample)
+            want = sorted(round(c.gain, 9) for c in exhaustive[:t])
+            assert got == want
+
+    def test_oversized_sample_returns_all(self):
+        e = _enumerator(with_parti=True)
+        sample = e.top_by_gain(10_000)
+        assert len(sample) == e.total_candidates()
+
+    def test_scales_without_full_enumeration(self):
+        """A 2^30 space must still sample quickly."""
+        doc0 = frozenset(range(100, 110))
+        missing = frozenset(range(200, 220))
+        objects = [
+            SpatialObject(oid=0, loc=(0.0, 0.0), doc=missing),
+            SpatialObject(oid=1, loc=(0.5, 0.5), doc=frozenset({100})),
+        ]
+        dataset = Dataset(objects)
+        particularity = ParticularityIndex(dataset, [dataset.get(0)])
+        e = CandidateEnumerator(doc0, missing, particularity=particularity)
+        assert e.edit_universe == 30
+        sample = e.top_by_gain(500)
+        assert len(sample) == 500

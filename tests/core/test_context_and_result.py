@@ -1,0 +1,129 @@
+"""Unit tests for QuestionContext and the result types."""
+
+import pytest
+
+from repro import (
+    MissingObjectError,
+    SpatialKeywordQuery,
+    Vocabulary,
+    WhyNotQuestion,
+    make_micro_example,
+)
+from repro.core.context import QuestionContext
+from repro.core.result import RefinedQuery, SearchCounters, WhyNotAnswer
+from repro.index.setr_tree import SetRTree
+from repro.model.similarity import JACCARD
+from repro.storage.stats import IOSnapshot
+
+
+@pytest.fixture(scope="module")
+def micro_tree(micro):
+    dataset, _ = micro
+    return SetRTree(dataset, capacity=4)
+
+
+class TestQuestionContext:
+    def _question(self, vocab, missing=(0,), k=1, lam=0.5):
+        t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+        query = SpatialKeywordQuery(
+            loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=k, alpha=0.5
+        )
+        return WhyNotQuestion(query, missing, lam=lam)
+
+    def test_prepare_resolves_everything(self, micro, micro_tree):
+        dataset, vocab = micro
+        context = QuestionContext.prepare(
+            self._question(vocab), micro_tree, JACCARD
+        )
+        assert context.initial_rank == 3
+        assert context.penalty_model.k0 == 1
+        assert context.penalty_model.doc_universe_size == 3
+        assert [m.oid for m in context.missing] == [0]
+        assert context.enumerator.universe_size == 3
+
+    def test_object_in_result_rejected(self, micro, micro_tree):
+        dataset, vocab = micro
+        with pytest.raises(MissingObjectError):
+            QuestionContext.prepare(
+                self._question(vocab, missing=(3,)), micro_tree, JACCARD
+            )
+
+    def test_basic_refined_query(self, micro, micro_tree):
+        dataset, vocab = micro
+        context = QuestionContext.prepare(
+            self._question(vocab, lam=0.7), micro_tree, JACCARD
+        )
+        basic = context.basic_refined()
+        assert basic.keywords == context.query.doc
+        assert basic.k == context.initial_rank
+        assert basic.delta_doc == 0
+        assert basic.penalty == pytest.approx(0.7)
+
+    def test_multi_missing_universe(self, micro, micro_tree):
+        dataset, vocab = micro
+        # m (oid 0, rank 3) and o1 (oid 1, rank 4) are both outside top-1
+        context = QuestionContext.prepare(
+            self._question(vocab, missing=(0, 1)), micro_tree, JACCARD
+        )
+        assert context.initial_rank == 4
+        union_doc = dataset.get(0).doc | dataset.get(1).doc
+        assert context.enumerator.missing_doc == union_doc
+
+
+class TestRefinedQuery:
+    def test_as_query(self):
+        initial = SpatialKeywordQuery(loc=(0.1, 0.2), doc=frozenset({1}), k=3)
+        refined = RefinedQuery(
+            keywords=frozenset({1, 2}), k=7, delta_doc=1, rank=7, penalty=0.3
+        )
+        materialised = refined.as_query(initial)
+        assert materialised.doc == frozenset({1, 2})
+        assert materialised.k == 7
+        assert materialised.loc == initial.loc
+        assert materialised.alpha == initial.alpha
+
+    def test_as_query_with_alpha(self):
+        initial = SpatialKeywordQuery(loc=(0.1, 0.2), doc=frozenset({1}), k=3)
+        refined = RefinedQuery(
+            keywords=frozenset({1}), k=3, delta_doc=0, rank=2, penalty=0.1,
+            alpha=0.8,
+        )
+        assert refined.as_query(initial).alpha == 0.8
+
+    def test_describe_with_vocabulary(self):
+        vocab = Vocabulary(["hotel", "spa"])
+        refined = RefinedQuery(
+            keywords=frozenset({0, 1}), k=5, delta_doc=1, rank=4, penalty=0.25
+        )
+        text = refined.describe(vocab)
+        assert "hotel" in text and "spa" in text
+        assert "k=5" in text
+
+    def test_describe_without_vocabulary(self):
+        refined = RefinedQuery(
+            keywords=frozenset({4, 2}), k=5, delta_doc=1, rank=4, penalty=0.25
+        )
+        assert "2, 4" in refined.describe()
+
+
+class TestCountersAndAnswer:
+    def test_counters_merge(self):
+        a = SearchCounters(candidates_enumerated=3, aborted_early=1)
+        b = SearchCounters(candidates_enumerated=2, pruned_by_cache=5)
+        a.merge(b)
+        assert a.candidates_enumerated == 5
+        assert a.pruned_by_cache == 5
+        assert a.aborted_early == 1
+
+    def test_answer_basic_flag(self):
+        refined = RefinedQuery(
+            keywords=frozenset({1}), k=9, delta_doc=0, rank=9, penalty=0.5
+        )
+        answer = WhyNotAnswer(
+            refined=refined,
+            initial_rank=9,
+            algorithm="X",
+            elapsed_seconds=0.1,
+            io=IOSnapshot(0, 0, 0, 0),
+        )
+        assert answer.is_basic_refinement

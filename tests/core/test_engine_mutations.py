@@ -1,0 +1,104 @@
+"""Tests for engine-level dataset mutations (insert/remove/update)."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    Oracle,
+    SpatialKeywordQuery,
+    SpatialObject,
+    WhyNotEngine,
+    make_euro_like,
+)
+
+
+@pytest.fixture()
+def engine():
+    full, _ = make_euro_like(300, seed=71)
+    dataset = Dataset(list(full.objects), diagonal=full.diagonal)
+    engine = WhyNotEngine(dataset)
+    _ = engine.setr_tree, engine.kcr_tree
+    return engine
+
+
+class TestUpdateKeywords:
+    def test_update_changes_query_results(self, engine):
+        dataset = engine.dataset
+        target = dataset.objects[17]
+        # a rare fresh keyword: queries for it must now find the object
+        fresh_term = max(dataset.doc_frequency) + 1
+        engine.update_keywords(target.oid, {fresh_term})
+        assert dataset.get(target.oid).doc == {fresh_term}
+        query = SpatialKeywordQuery(
+            loc=target.loc, doc=frozenset({fresh_term}), k=1, alpha=0.3
+        )
+        top = engine.top_k(query)
+        assert top[0][1] == target.oid
+
+    def test_update_preserves_location_and_id(self, engine):
+        dataset = engine.dataset
+        target = dataset.objects[5]
+        engine.update_keywords(target.oid, {1, 2, 3})
+        updated = dataset.get(target.oid)
+        assert updated.loc == target.loc
+        assert updated.doc == {1, 2, 3}
+        assert len(dataset) == 300  # no net growth
+
+    def test_trees_stay_valid(self, engine):
+        for oid in (3, 50, 123):
+            engine.update_keywords(oid, {7, 8})
+        engine.setr_tree.validate()
+        engine.kcr_tree.validate()
+
+    def test_frequencies_follow_update(self, engine):
+        dataset = engine.dataset
+        target = dataset.objects[9]
+        old_terms = set(target.doc)
+        fresh_term = max(dataset.doc_frequency) + 2
+        before = {t: dataset.frequency(t) for t in old_terms}
+        engine.update_keywords(target.oid, {fresh_term})
+        for term in old_terms:
+            assert dataset.frequency(term) == before[term] - 1
+        assert dataset.frequency(fresh_term) == 1
+
+    def test_merchant_loop_closes(self, engine):
+        """Answering a why-not question about a listing and applying
+        the suggested keywords must actually revive the listing."""
+        from repro import WhyNotQuestion
+
+        dataset = engine.dataset
+        oracle = Oracle(dataset)
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+            doc = frozenset(list(seed_obj.doc)[:3])
+            if len(doc) < 2:
+                continue
+            query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5)
+            try:
+                missing = oracle.object_at_rank(query, 16)
+            except ValueError:
+                continue
+            if len(dataset.get(missing).doc - query.doc) > 5:
+                continue
+            question = WhyNotQuestion(query, (missing,), lam=0.5)
+            answer = engine.answer(question, method="kcr")
+            refined = answer.refined.as_query(query)
+            result = {oid for _, oid in engine.top_k(refined)}
+            assert missing in result
+            return
+        pytest.skip("no suitable why-not case found")
+
+
+class TestRemoveThenInsert:
+    def test_roundtrip_identity(self, engine):
+        dataset = engine.dataset
+        target = dataset.objects[33]
+        engine.remove(target.oid)
+        assert target.oid not in dataset
+        engine.insert(target)
+        assert dataset.get(target.oid).doc == target.doc
+        engine.setr_tree.validate()
+        engine.kcr_tree.validate()

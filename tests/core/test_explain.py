@@ -1,0 +1,94 @@
+"""Tests for the why-not explanation API."""
+
+import pytest
+
+from repro import (
+    Scorer,
+    SpatialKeywordQuery,
+    WhyNotEngine,
+    WhyNotQuestion,
+    explain,
+    make_micro_example,
+)
+
+
+@pytest.fixture(scope="module")
+def answered(micro):
+    dataset, vocab = micro
+    engine = WhyNotEngine(dataset, capacity=4)
+    t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+    query = SpatialKeywordQuery(
+        loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=1, alpha=0.5
+    )
+    question = WhyNotQuestion(query, (0,), lam=0.5)
+    answer = engine.answer(question, method="kcr")
+    return dataset, vocab, question, answer
+
+
+class TestProfiles:
+    def test_missing_profile_matches_scorer(self, answered):
+        dataset, vocab, question, answer = answered
+        explanation = explain(dataset, question, answer, vocabulary=vocab)
+        profile = explanation.missing_profiles[0]
+        scorer = Scorer(dataset)
+        assert profile.oid == 0
+        assert profile.rank == 3
+        assert profile.score == pytest.approx(
+            scorer.st(dataset.get(0), question.query)
+        )
+
+    def test_blockers_are_the_dominators(self, answered):
+        dataset, vocab, question, answer = answered
+        explanation = explain(dataset, question, answer)
+        profile = explanation.missing_profiles[0]
+        assert {b.oid for b in profile.blockers} == {2, 3}
+        # sorted best-first
+        scores = [b.score for b in profile.blockers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_blocker_edges(self, answered):
+        dataset, vocab, question, answer = answered
+        explanation = explain(dataset, question, answer)
+        by_oid = {b.oid: b for b in explanation.missing_profiles[0].blockers}
+        # o2 (oid 2) is much closer but textually weaker than m
+        assert by_oid[2].wins_spatially and not by_oid[2].wins_textually
+        # o3 (oid 3) is slightly closer AND a perfect keyword match
+        assert by_oid[3].wins_textually
+        assert "keyword" in by_oid[3].edge
+
+    def test_edit_script(self, answered):
+        dataset, vocab, question, answer = answered
+        explanation = explain(dataset, question, answer, vocabulary=vocab)
+        t3 = vocab.id_of("t3")
+        assert explanation.added_keywords == frozenset({t3})
+        assert explanation.removed_keywords == frozenset()
+
+
+class TestRendering:
+    def test_render_mentions_everything(self, answered):
+        dataset, vocab, question, answer = answered
+        text = explain(dataset, question, answer, vocabulary=vocab).render()
+        assert "Missing object #0 ranked 3" in text
+        assert "add keyword(s): t3" in text
+        assert "enlarge k from 1 to 2" in text
+        assert "penalty 0.4167" in text
+
+    def test_render_without_vocabulary(self, answered):
+        dataset, vocab, question, answer = answered
+        text = explain(dataset, question, answer).render()
+        assert "Missing object #0" in text
+
+    def test_render_limits_blockers(self, answered):
+        dataset, vocab, question, answer = answered
+        text = explain(dataset, question, answer).render(max_blockers=1)
+        assert text.count("- object #") == 1
+
+    def test_alpha_refinement_rendering(self, answered):
+        dataset, vocab, question, _ = answered
+        engine = WhyNotEngine(dataset, capacity=4)
+        alpha_answer = engine.answer(question, method="alpha")
+        text = explain(dataset, question, alpha_answer, vocabulary=vocab).render()
+        if alpha_answer.refined.alpha is not None:
+            assert "alpha=" in text
+        else:
+            assert "enlarge k" in text

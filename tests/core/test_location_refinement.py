@@ -1,0 +1,58 @@
+"""Tests for the location-refinement extension."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    LocationRefinementAlgorithm,
+)
+
+
+class TestValidation:
+    def test_positive_fractions_required(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            LocationRefinementAlgorithm(euro_engine.setr_tree, n_fractions=0)
+
+
+class TestLocationRefinement:
+    def test_never_worse_than_basic(self, euro_engine, euro_cases):
+        for question in euro_cases[:3]:
+            answer = euro_engine.answer(question, method="location")
+            assert answer.refined.penalty <= question.lam + 1e-12
+
+    def test_keywords_and_k_semantics(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        answer = euro_engine.answer(question, method="location")
+        assert answer.refined.keywords == question.query.doc
+        assert answer.refined.delta_doc == 0
+
+    def test_refined_location_revives(self, euro_engine, euro_oracle, euro_cases):
+        for question in euro_cases[:4]:
+            answer = euro_engine.answer(question, method="location")
+            loc = getattr(answer, "refined_loc", None)
+            if loc is None:
+                # basic refinement won: k was enlarged to R(M,q)
+                assert answer.refined.k == answer.initial_rank
+                continue
+            moved = type(question.query)(
+                loc=loc,
+                doc=question.query.doc,
+                k=answer.refined.k,
+                alpha=question.query.alpha,
+            )
+            rank = euro_oracle.rank_of_set(question.missing, moved)
+            assert rank <= answer.refined.k
+
+    def test_moving_all_the_way_revives_cheaply_when_textual_match(
+        self, euro_engine, euro_oracle, euro_cases
+    ):
+        """Moving the query onto the missing object maximises its
+        spatial score, so the location axis must find *some* penalty
+        below 1 whenever lam < 1."""
+        question = euro_cases[1]
+        answer = euro_engine.answer(question, method="location")
+        assert answer.refined.penalty < 1.0
+
+    def test_counters_populated(self, euro_engine, euro_cases):
+        answer = euro_engine.answer(euro_cases[2], method="location")
+        assert answer.counters.candidates_enumerated > 0

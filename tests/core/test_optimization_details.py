@@ -1,0 +1,68 @@
+"""Behavioural tests for the Section IV-C optimizations' telemetry."""
+
+import pytest
+
+
+class TestOpt3CacheFires:
+    def test_cache_prunes_on_realistic_workload(self, euro_engine, euro_cases):
+        """Across a handful of questions the dominator cache must prune
+        at least one candidate without touching the index — the effect
+        Fig 11 credits it for."""
+        pruned = 0
+        for question in euro_cases:
+            answer = euro_engine.answer(question, method="advanced")
+            pruned += answer.counters.pruned_by_cache
+        assert pruned > 0
+
+    def test_filtering_reduces_index_work(self, euro_engine, euro_cases):
+        """With the cache on, fewer candidates reach the index."""
+        evaluated_with = 0
+        evaluated_without = 0
+        for question in euro_cases[:4]:
+            with_cache = euro_engine.answer(question, method="advanced")
+            without_cache = euro_engine.answer(
+                question, method="advanced", filtering=False
+            )
+            evaluated_with += with_cache.counters.candidates_evaluated
+            evaluated_without += without_cache.counters.candidates_evaluated
+        assert evaluated_with <= evaluated_without
+
+
+class TestOpt2TerminatesEnumeration:
+    def test_ordered_enumeration_stops_early(self, euro_engine, euro_cases):
+        """Under the paper order, the keyword-penalty cut-off must fire
+        before the full space is enumerated on typical questions."""
+        stopped_early = 0
+        for question in euro_cases:
+            answer = euro_engine.answer(
+                question, method="advanced", filtering=False
+            )
+            from repro.core.context import QuestionContext
+
+            context = QuestionContext.prepare(
+                question, euro_engine.setr_tree, euro_engine.model
+            )
+            total = context.enumerator.total_candidates()
+            if answer.counters.candidates_enumerated < total:
+                stopped_early += 1
+        assert stopped_early > 0
+
+
+class TestKcRPruning:
+    def test_bound_pruning_fires(self, euro_engine, euro_cases):
+        pruned = 0
+        for question in euro_cases:
+            answer = euro_engine.answer(question, method="kcr")
+            pruned += answer.counters.pruned_by_bounds
+        assert pruned > 0
+
+    def test_kcr_reads_fewer_pages_than_bs(self, euro_engine, euro_cases):
+        """The paper's headline I/O claim on our shared workload."""
+        kcr_io = 0
+        bs_io = 0
+        for question in euro_cases[:3]:
+            euro_engine.reset_buffers()
+            kcr_io += euro_engine.answer(question, method="kcr").io.page_reads
+            euro_engine.reset_buffers()
+            bs_io += euro_engine.answer(question, method="basic").io.page_reads
+        assert kcr_io < bs_io

@@ -1,0 +1,94 @@
+"""Tests for the parallel candidate processing (Fig 10)."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    ParallelAdvanced,
+    ParallelKcR,
+)
+from repro.core.parallel import makespan
+
+
+class TestMakespan:
+    def test_single_worker_is_sum(self):
+        times = [0.5, 1.0, 0.25]
+        assert makespan(times, 1) == pytest.approx(1.75)
+
+    def test_many_workers_is_max(self):
+        times = [0.5, 1.0, 0.25]
+        assert makespan(times, 10) == pytest.approx(1.0)
+
+    def test_greedy_assignment(self):
+        # units 3,3,2,2,2 on 2 workers: greedy gives 3+2 / 3+2+... ->
+        # loads [3,3] -> [5,3] -> [5,5] -> [5,7]? step through:
+        # 3->w0, 3->w1, 2->w0(3==3 tie min picks w0:5), 2->w1(5), 2->w0/1(7)
+        assert makespan([3, 3, 2, 2, 2], 2) == pytest.approx(7.0)
+
+    def test_monotone_in_workers(self):
+        times = [0.1, 0.9, 0.4, 0.4, 0.2, 0.7]
+        spans = [makespan(times, t) for t in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-12 for a, b in zip(spans, spans[1:]))
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            makespan([1.0], 0)
+
+
+class TestParallelAdvanced:
+    def test_validation(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            ParallelAdvanced(euro_engine.setr_tree, 0)
+        with pytest.raises(InvalidParameterError):
+            ParallelAdvanced(euro_engine.setr_tree, 2, mode="warp")
+
+    def test_simulated_answer_is_exact(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        exact = euro_engine.answer(question, method="kcr")
+        for n_threads in (1, 4):
+            answer = euro_engine.answer(
+                question, method="parallel-advanced", n_threads=n_threads
+            )
+            assert answer.refined.penalty == pytest.approx(exact.refined.penalty)
+
+    def test_more_threads_not_slower_simulated(self, euro_engine, euro_cases):
+        """The simulated makespan is monotone non-increasing in T for
+        the same measured unit times; across separate runs we allow a
+        generous tolerance for timing noise."""
+        question = euro_cases[1]
+        t1 = euro_engine.answer(
+            question, method="parallel-advanced", n_threads=1
+        ).elapsed_seconds
+        t8 = euro_engine.answer(
+            question, method="parallel-advanced", n_threads=8
+        ).elapsed_seconds
+        assert t8 <= t1 * 1.5
+
+    def test_real_threads_mode_exact(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        exact = euro_engine.answer(question, method="kcr")
+        answer = euro_engine.answer(
+            question, method="parallel-advanced", n_threads=4, mode="threads"
+        )
+        assert answer.refined.penalty == pytest.approx(exact.refined.penalty)
+
+    def test_name(self, euro_engine):
+        assert ParallelAdvanced(euro_engine.setr_tree, 4).name == "AdvancedBS-P4"
+
+
+class TestParallelKcR:
+    def test_validation(self, euro_engine):
+        with pytest.raises(InvalidParameterError):
+            ParallelKcR(euro_engine.kcr_tree, 0)
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 8])
+    def test_partitioned_answer_is_exact(self, euro_engine, euro_cases, n_threads):
+        question = euro_cases[2]
+        exact = euro_engine.answer(question, method="kcr")
+        answer = euro_engine.answer(
+            question, method="parallel-kcr", n_threads=n_threads
+        )
+        assert answer.refined.penalty == pytest.approx(exact.refined.penalty)
+
+    def test_name(self, euro_engine):
+        assert ParallelKcR(euro_engine.kcr_tree, 2).name == "KcRBased-P2"

@@ -1,0 +1,90 @@
+"""Unit tests for the Eqn 7 particularity weights."""
+
+import math
+
+import pytest
+
+from repro import Dataset, ParticularityIndex, SpatialObject
+
+
+def _dataset():
+    # term 1 is very common (9/10 objects), term 7 is rare (1/10).
+    objects = []
+    for i in range(10):
+        doc = {1} if i < 9 else {7}
+        if i == 0:
+            doc = {1, 7, 3}
+        objects.append(SpatialObject(oid=i, loc=(i / 10.0, 0.0), doc=frozenset(doc)))
+    return Dataset(objects)
+
+
+class TestIdf:
+    def test_rare_term_heavier_than_common(self):
+        ds = _dataset()
+        index = ParticularityIndex(ds, [ds.get(0)])
+        assert index.idf(7) > index.idf(1)
+
+    def test_formula(self):
+        ds = _dataset()
+        index = ParticularityIndex(ds, [ds.get(0)])
+        n, n_t = len(ds), ds.frequency(3)
+        assert index.idf(3) == pytest.approx(
+            math.log((n - n_t + 0.5) / (n_t + 0.5))
+        )
+
+    def test_overly_common_term_clamped_to_zero(self):
+        ds = _dataset()
+        index = ParticularityIndex(ds, [ds.get(0)])
+        # term 1 in 10/10... actually 10 of 10 objects: log < 0 -> clamp
+        assert index.idf(1) == 0.0
+
+
+class TestSignedParti:
+    def test_sign_depends_on_membership(self):
+        ds = _dataset()
+        m = ds.get(0)  # contains 1, 7, 3
+        index = ParticularityIndex(ds, [m])
+        assert index.parti(m, 7) > 0
+        other = ds.get(1)  # does not contain 7
+        assert index.parti(other, 7) < 0
+        assert index.parti(other, 7) == -index.parti(m, 7)
+
+    def test_multi_missing_is_additive(self):
+        ds = _dataset()
+        m1, m2 = ds.get(0), ds.get(9)  # both contain 7
+        index = ParticularityIndex(ds, [m1, m2])
+        single = ParticularityIndex(ds, [m1])
+        assert index.parti_missing(7) == pytest.approx(2 * single.parti_missing(7))
+
+    def test_empty_missing_rejected(self):
+        with pytest.raises(ValueError):
+            ParticularityIndex(_dataset(), [])
+
+
+class TestEditGain:
+    def test_adding_particular_keyword_positive(self):
+        ds = _dataset()
+        m = ds.get(0)
+        index = ParticularityIndex(ds, [m])
+        assert index.edit_gain({7}, set()) > 0
+
+    def test_removing_foreign_keyword_positive(self):
+        ds = _dataset()
+        m = ds.get(9)  # doc {7}; term 3 is foreign to it
+        index = ParticularityIndex(ds, [m])
+        assert index.edit_gain(set(), {3}) > 0
+
+    def test_removing_particular_keyword_negative(self):
+        ds = _dataset()
+        m = ds.get(0)
+        index = ParticularityIndex(ds, [m])
+        assert index.edit_gain(set(), {7}) < 0
+
+    def test_gain_is_additive(self):
+        ds = _dataset()
+        m = ds.get(0)
+        index = ParticularityIndex(ds, [m])
+        combined = index.edit_gain({7}, {3})
+        assert combined == pytest.approx(
+            index.edit_gain({7}, set()) + index.edit_gain(set(), {3})
+        )

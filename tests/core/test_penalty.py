@@ -1,0 +1,120 @@
+"""Unit tests for the penalty model (Eqn 4, Lemma 1, Eqn 6)."""
+
+import pytest
+
+from repro import InvalidParameterError, PenaltyModel
+
+
+def _model(k0=10, initial_rank=51, universe=10, lam=0.5):
+    return PenaltyModel(
+        k0=k0, initial_rank=initial_rank, doc_universe_size=universe, lam=lam
+    )
+
+
+class TestValidation:
+    def test_k0_positive(self):
+        with pytest.raises(InvalidParameterError):
+            _model(k0=0)
+
+    def test_rank_must_exceed_k0(self):
+        with pytest.raises(InvalidParameterError):
+            _model(k0=10, initial_rank=10)
+
+    def test_universe_positive(self):
+        with pytest.raises(InvalidParameterError):
+            _model(universe=0)
+
+    def test_lambda_range(self):
+        with pytest.raises(InvalidParameterError):
+            _model(lam=1.5)
+
+
+class TestPenaltyArithmetic:
+    def test_basic_refined_penalty_is_lambda(self):
+        for lam in (0.0, 0.3, 0.5, 1.0):
+            model = _model(lam=lam)
+            assert model.penalty(0, model.initial_rank) == pytest.approx(lam)
+            assert model.basic_penalty == lam
+
+    def test_rank_at_or_below_k0_costs_nothing(self):
+        model = _model()
+        assert model.k_penalty(10) == 0.0
+        assert model.k_penalty(3) == 0.0
+        assert model.penalty(2, 5) == pytest.approx(model.keyword_penalty(2))
+
+    def test_keyword_penalty_normalised(self):
+        model = _model(universe=8, lam=0.25)
+        assert model.keyword_penalty(2) == pytest.approx(0.75 * 2 / 8)
+
+    def test_penalty_monotone_in_rank(self):
+        model = _model()
+        penalties = [model.penalty(1, rank) for rank in range(5, 60)]
+        assert all(a <= b + 1e-12 for a, b in zip(penalties, penalties[1:]))
+
+    def test_penalty_monotone_in_delta_doc(self):
+        model = _model()
+        penalties = [model.penalty(d, 20) for d in range(0, 8)]
+        assert all(a < b for a, b in zip(penalties, penalties[1:]))
+
+    def test_negative_delta_doc_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _model().keyword_penalty(-1)
+
+    def test_refined_k_lemma1(self):
+        model = _model(k0=10)
+        assert model.refined_k(51) == 51  # rank above k0: enlarge
+        assert model.refined_k(4) == 10  # rank below k0: keep k0
+
+    def test_paper_table1_q1(self):
+        """q1 keeps keywords and enlarges k: Δk=2, R(m,q)-k0=2 -> 0.5."""
+        model = PenaltyModel(k0=1, initial_rank=3, doc_universe_size=3, lam=0.5)
+        assert model.penalty(0, 3) == pytest.approx(0.5)
+
+    def test_paper_table1_q4(self):
+        """q4 = (2, {t1,t2,t3}): Δk=1/2 margin, Δdoc=1/3 -> 0.41667."""
+        model = PenaltyModel(k0=1, initial_rank=3, doc_universe_size=3, lam=0.5)
+        assert model.penalty(1, 2) == pytest.approx(5 / 12)
+
+
+class TestMaxUsefulRank:
+    """Eqn 6's strict-improvement invariant:
+    penalty(Δdoc, R) < p_c  iff  R <= bound."""
+
+    @pytest.mark.parametrize("lam", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("delta_doc", [0, 1, 3])
+    @pytest.mark.parametrize("p_c", [0.12, 0.37, 0.5, 0.9])
+    def test_boundary_exact(self, lam, delta_doc, p_c):
+        model = _model(lam=lam)
+        bound = model.max_useful_rank(p_c, delta_doc)
+        if bound is None:
+            assert model.keyword_penalty(delta_doc) >= p_c
+            return
+        assert model.penalty(delta_doc, bound) < p_c
+        assert model.penalty(delta_doc, bound + 1) >= p_c
+
+    def test_example4_from_paper(self):
+        """Paper Example 4: k0=5, R(m,q)=10, λ=0.5, p_c=0.5,
+        Δdoc-fraction 0.4.  Eqn 6 with the paper's non-strict
+        comparison gives R_L = 8; at rank 8 the penalty *equals* p_c
+        (0.3 + 0.2), which cannot strictly improve, so our bound is 7
+        — one tighter, same pruning semantics."""
+        model = PenaltyModel(k0=5, initial_rank=10, doc_universe_size=5, lam=0.5)
+        # Δdoc/|universe| = 0.4 -> Δdoc = 2 with universe 5
+        bound = model.max_useful_rank(0.5, 2)
+        assert bound == 7
+        assert model.penalty(2, 8) == pytest.approx(0.5)  # the paper's R_L ties p_c
+
+    def test_hopeless_keyword_penalty_returns_none(self):
+        model = _model(lam=0.1, universe=4)
+        # keyword penalty of Δdoc=4 is 0.9 * 4/4 = 0.9 >= p_c
+        assert model.max_useful_rank(0.5, 4) is None
+
+    def test_lambda_zero_rank_unbounded(self):
+        model = _model(lam=0.0)
+        bound = model.max_useful_rank(0.4, 1)
+        assert bound is not None and bound > 10**9
+
+    def test_bound_never_below_k0_when_improvable(self):
+        model = _model(k0=10, lam=0.9)
+        bound = model.max_useful_rank(0.901, 0)
+        assert bound is not None and bound >= 10

@@ -1,0 +1,105 @@
+"""Tests for reverse keyword search (the [22]-style companion API)."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    Oracle,
+    ReverseKeywordSearch,
+    SpatialKeywordQuery,
+)
+
+
+@pytest.fixture(scope="module")
+def searcher(euro_engine):
+    return ReverseKeywordSearch(euro_engine.setr_tree)
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self, searcher, euro_small):
+        dataset, _ = euro_small
+        target = dataset.objects[0]
+        with pytest.raises(InvalidParameterError):
+            searcher.search(target.oid, target.loc, 5, pool=())
+
+    def test_bad_max_size(self, searcher, euro_small):
+        dataset, _ = euro_small
+        target = dataset.objects[0]
+        with pytest.raises(InvalidParameterError):
+            searcher.search(target.oid, target.loc, 5, max_size=0)
+
+
+class TestCorrectness:
+    def test_matches_agree_with_oracle(self, searcher, euro_small, euro_oracle):
+        dataset, _ = euro_small
+        target = dataset.objects[25]
+        k = 10
+        report = searcher.search(target.oid, target.loc, k, max_size=3)
+        for match in report.matches:
+            query = SpatialKeywordQuery(loc=target.loc, doc=match.keywords, k=k)
+            assert euro_oracle.rank(target.oid, query) == match.rank
+            assert match.rank <= k
+
+    def test_exhaustive_against_oracle(self, searcher, euro_small, euro_oracle):
+        """Every subset the oracle says qualifies must be returned and
+        vice versa (checked on a small pool)."""
+        dataset, _ = euro_small
+        target = dataset.objects[42]
+        pool = sorted(target.doc)[:3]
+        if not pool:
+            pytest.skip("target has no keywords")
+        k = 15
+        report = searcher.search(target.oid, target.loc, k, pool=pool)
+        returned = {m.keywords for m in report.matches}
+        expected = set()
+        for size in range(1, len(pool) + 1):
+            for subset in itertools.combinations(pool, size):
+                query = SpatialKeywordQuery(
+                    loc=target.loc, doc=frozenset(subset), k=k
+                )
+                if euro_oracle.rank(target.oid, query) <= k:
+                    expected.add(frozenset(subset))
+        assert returned == expected
+
+    def test_own_location_full_doc_usually_qualifies(
+        self, searcher, euro_small, euro_oracle
+    ):
+        """Querying from the target's own location with its full
+        document maximises both score components; with a generous k it
+        must qualify."""
+        dataset, _ = euro_small
+        target = dataset.objects[7]
+        k = 50
+        report = searcher.search(target.oid, target.loc, k)
+        assert report.matches, "no keyword set ranks the target in a top-50"
+        best = report.best()
+        assert best is not None
+        assert best.rank <= k
+
+    def test_sorted_best_first(self, searcher, euro_small):
+        dataset, _ = euro_small
+        target = dataset.objects[55]
+        report = searcher.search(target.oid, target.loc, 20, max_size=3)
+        ranks = [m.rank for m in report.matches]
+        assert ranks == sorted(ranks)
+
+    def test_counters(self, searcher, euro_small):
+        dataset, _ = euro_small
+        target = dataset.objects[90]
+        pool = sorted(target.doc)[:3]
+        report = searcher.search(target.oid, target.loc, 5, pool=pool)
+        assert report.candidates_examined == 2 ** len(pool) - 1
+        assert report.aborted_early + len(report.matches) <= report.candidates_examined
+
+    def test_best_prefers_small_sets_on_rank_ties(self, searcher, euro_small):
+        dataset, _ = euro_small
+        target = dataset.objects[11]
+        report = searcher.search(target.oid, target.loc, 30)
+        best = report.best()
+        if best is None:
+            pytest.skip("nothing qualifies")
+        for match in report.matches:
+            if match.rank == best.rank:
+                assert len(best.keywords) <= len(match.keywords)

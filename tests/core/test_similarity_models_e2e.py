@@ -1,0 +1,89 @@
+"""End-to-end why-not answering under the footnote-1 similarity models.
+
+BS and AdvancedBS must agree with a brute-force enumeration under Dice
+and Cosine, validating that the Theorem-1-style bounds used by the
+SetR-tree stay admissible for the alternative models.
+"""
+
+import pytest
+
+from repro import (
+    PenaltyModel,
+    Scorer,
+    SpatialKeywordQuery,
+    WhyNotEngine,
+    WhyNotQuestion,
+    make_micro_example,
+)
+from repro.core.candidates import CandidateEnumerator
+from repro.model.similarity import get_model
+
+
+def _brute_force(dataset, question, model):
+    scorer = Scorer(dataset, model=model)
+    query = question.query
+    missing = [dataset.get(m) for m in question.missing]
+    initial_rank = scorer.rank_of_set(missing, query)
+    missing_doc = frozenset().union(*(m.doc for m in missing))
+    pm = PenaltyModel(
+        k0=query.k,
+        initial_rank=initial_rank,
+        doc_universe_size=len(query.doc | missing_doc),
+        lam=question.lam,
+    )
+    best = pm.basic_penalty
+    for candidate in CandidateEnumerator(query.doc, missing_doc).iter_naive():
+        rank = scorer.rank_of_set(
+            missing, query.with_keywords(candidate.keywords)
+        )
+        best = min(best, pm.penalty(candidate.delta_doc, rank))
+    return best
+
+
+@pytest.mark.parametrize("similarity", ["dice", "cosine"])
+class TestAlternativeModelsExact:
+    def test_micro_example(self, similarity):
+        dataset, vocab = make_micro_example()
+        engine = WhyNotEngine(dataset, capacity=4, similarity=similarity)
+        t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+        query = SpatialKeywordQuery(
+            loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=1, alpha=0.5
+        )
+        question = WhyNotQuestion(query, (0,), lam=0.5)
+        model = get_model(similarity)
+        scorer = Scorer(dataset, model=model)
+        if scorer.rank(dataset.get(0), query) <= 1:
+            pytest.skip(f"m is not missing under {similarity}")
+        expected = _brute_force(dataset, question, model)
+        for method in ("basic", "advanced"):
+            answer = engine.answer(question, method=method)
+            assert answer.refined.penalty == pytest.approx(expected), method
+
+    def test_euro_sample(self, similarity, euro_small):
+        dataset, _ = euro_small
+        model = get_model(similarity)
+        scorer = Scorer(dataset, model=model)
+        engine = WhyNotEngine(dataset, similarity=similarity)
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        for _ in range(80):
+            seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+            doc = frozenset(list(seed_obj.doc)[:2])
+            if len(doc) < 2:
+                continue
+            query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=3)
+            candidates = [
+                o
+                for o in dataset.objects[::37]
+                if scorer.rank(o, query) > 10 and len(o.doc - doc) <= 4
+            ]
+            if not candidates:
+                continue
+            missing = candidates[0]
+            question = WhyNotQuestion(query, (missing.oid,), lam=0.5)
+            expected = _brute_force(dataset, question, model)
+            answer = engine.answer(question, method="advanced")
+            assert answer.refined.penalty == pytest.approx(expected)
+            return
+        pytest.skip("no suitable case drawn")

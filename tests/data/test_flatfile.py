@@ -1,0 +1,96 @@
+"""Tests for the EURO/GN-style flat-file loader."""
+
+import math
+
+import pytest
+
+from repro import (
+    DatasetError,
+    load_flatfile,
+    make_euro_like,
+    save_flatfile,
+)
+from repro.data.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "pois.txt"
+    path.write_text(
+        "\n".join(
+            [
+                "# a comment line",
+                "0 -8.61 41.15 hotel clean comfortable",
+                "1 2.35 48.85 restaurant sichuan",
+                "",
+                "2 12.49 41.89 museum",
+            ]
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestLoading:
+    def test_basic_parse(self, sample_file):
+        dataset, vocab = load_flatfile(sample_file)
+        assert len(dataset) == 3
+        assert dataset.name == "pois"
+        assert vocab.decode(dataset.get(0).doc) == [
+            "clean",
+            "comfortable",
+            "hotel",
+        ]
+
+    def test_normalised_into_unit_square(self, sample_file):
+        dataset, _ = load_flatfile(sample_file)
+        for obj in dataset:
+            assert 0.0 <= obj.loc[0] <= 1.0
+            assert 0.0 <= obj.loc[1] <= 1.0
+        assert dataset.diagonal == pytest.approx(math.sqrt(2.0))
+
+    def test_raw_coordinates_mode(self, sample_file):
+        dataset, _ = load_flatfile(sample_file, normalize=False)
+        assert dataset.get(1).loc == (2.35, 48.85)
+
+    def test_shared_vocabulary(self, sample_file):
+        vocab = Vocabulary(["hotel"])
+        dataset, out = load_flatfile(sample_file, vocabulary=vocab)
+        assert out is vocab
+        assert vocab.id_of("hotel") == 0  # pre-seeded id preserved
+
+
+class TestErrors:
+    def test_too_few_fields(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1.0 2.0\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="expected"):
+            load_flatfile(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 east north hotel\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_flatfile(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="no objects"):
+            load_flatfile(path)
+
+
+class TestRoundTrip:
+    def test_synthetic_roundtrip(self, tmp_path):
+        dataset, vocab = make_euro_like(150, seed=9)
+        path = tmp_path / "euro.txt"
+        save_flatfile(dataset, vocab, path)
+        loaded, loaded_vocab = load_flatfile(path, normalize=False)
+        assert len(loaded) == len(dataset)
+        for a, b in zip(dataset, loaded):
+            assert a.oid == b.oid
+            assert a.loc[0] == pytest.approx(b.loc[0], abs=1e-7)
+            # documents survive via decoded words
+            assert sorted(vocab.decode(a.doc)) == sorted(
+                loaded_vocab.decode(b.doc)
+            )

@@ -1,0 +1,38 @@
+"""Unit tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro import load_dataset, make_euro_like, save_dataset
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        dataset, vocab = make_euro_like(200, seed=3)
+        path = tmp_path / "euro.json"
+        save_dataset(dataset, vocab, path)
+        loaded, loaded_vocab = load_dataset(path)
+        assert loaded.name == dataset.name
+        assert loaded.diagonal == dataset.diagonal
+        assert len(loaded) == len(dataset)
+        for a, b in zip(dataset, loaded):
+            assert a.oid == b.oid
+            assert a.loc == b.loc
+            assert a.doc == b.doc
+        assert loaded_vocab.words == vocab.words
+
+    def test_doc_frequency_recomputed(self, tmp_path):
+        dataset, vocab = make_euro_like(150, seed=4)
+        path = tmp_path / "d.json"
+        save_dataset(dataset, vocab, path)
+        loaded, _ = load_dataset(path)
+        assert dict(loaded.doc_frequency) == dict(dataset.doc_frequency)
+
+
+class TestFormatGuard:
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_dataset(path)

@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate,
+    make_euro_like,
+    make_gn_like,
+    make_micro_example,
+)
+
+
+class TestConfigValidation:
+    def test_bad_n_objects(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(0, 0.2, (2, 8), 0.5, 4, 0.02)
+
+    def test_bad_doc_length_range(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(10, 0.2, (0, 8), 0.5, 4, 0.02)
+        with pytest.raises(ValueError):
+            SyntheticConfig(10, 0.2, (5, 2), 0.5, 4, 0.02)
+
+    def test_bad_cluster_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(10, 0.2, (2, 8), 1.5, 4, 0.02)
+
+    def test_vocab_size_floor(self):
+        config = SyntheticConfig(10, 0.0001, (2, 8), 0.5, 4, 0.02)
+        assert config.vocab_size >= 9  # at least max doc length + 1
+
+
+class TestGeneratedProperties:
+    @pytest.fixture(scope="class")
+    def euro(self):
+        return make_euro_like(1500, seed=11)
+
+    def test_cardinality(self, euro):
+        dataset, _ = euro
+        assert len(dataset) == 1500
+
+    def test_locations_in_unit_square(self, euro):
+        dataset, _ = euro
+        for obj in dataset:
+            assert 0.0 <= obj.loc[0] <= 1.0
+            assert 0.0 <= obj.loc[1] <= 1.0
+
+    def test_doc_lengths_in_range(self, euro):
+        dataset, _ = euro
+        lengths = [len(o.doc) for o in dataset]
+        assert min(lengths) >= 2
+        assert max(lengths) <= 8
+
+    def test_diagonal_pinned_to_space(self, euro):
+        dataset, _ = euro
+        assert dataset.diagonal == pytest.approx(math.sqrt(2.0))
+
+    def test_keyword_skew_is_zipfian(self, euro):
+        """The most frequent term should dwarf the median term."""
+        dataset, _ = euro
+        freqs = sorted(dataset.doc_frequency.values(), reverse=True)
+        assert freqs[0] > 10 * freqs[len(freqs) // 2]
+
+    def test_determinism(self):
+        a, _ = make_euro_like(300, seed=5)
+        b, _ = make_euro_like(300, seed=5)
+        assert [o.loc for o in a] == [o.loc for o in b]
+        assert [o.doc for o in a] == [o.doc for o in b]
+
+    def test_different_seeds_differ(self):
+        a, _ = make_euro_like(300, seed=5)
+        b, _ = make_euro_like(300, seed=6)
+        assert [o.loc for o in a] != [o.loc for o in b]
+
+
+class TestGnLike:
+    def test_shorter_docs_than_euro(self):
+        gn, _ = make_gn_like(800, seed=1)
+        lengths = [len(o.doc) for o in gn]
+        assert max(lengths) <= 4
+        assert gn.name == "gn-like"
+
+    def test_same_space_diagonal_across_sizes(self):
+        """Fig 13 requires identical normalisation across cardinalities."""
+        small, _ = make_gn_like(200, seed=1)
+        large, _ = make_gn_like(800, seed=1)
+        assert small.diagonal == large.diagonal
+
+
+class TestMicroExample:
+    def test_matches_fig1_geometry(self):
+        dataset, vocab = make_micro_example()
+        assert len(dataset) == 4
+        assert dataset.diagonal == 1.0
+        # 1 - SDist values from Fig 1(b)
+        expected = {0: 0.5, 1: 0.2, 2: 0.9, 3: 0.4}
+        for oid, one_minus in expected.items():
+            d = dataset.normalized_distance(dataset.get(oid).loc, (0.0, 0.0))
+            assert 1.0 - d == pytest.approx(one_minus)
+
+    def test_documents_match_fig1(self):
+        dataset, vocab = make_micro_example()
+        t = {w: vocab.id_of(w) for w in ("t1", "t2", "t3")}
+        assert dataset.get(0).doc == {t["t1"], t["t2"], t["t3"]}
+        assert dataset.get(1).doc == {t["t1"]}
+        assert dataset.get(2).doc == {t["t1"], t["t3"]}
+        assert dataset.get(3).doc == {t["t1"], t["t2"]}

@@ -1,0 +1,67 @@
+"""Tests for keyword normalisation."""
+
+import pytest
+
+from repro.data.text import DEFAULT_STOPWORDS, normalize_keywords, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits_on_punctuation(self):
+        assert tokenize("Joe's Café-Grill") == ["joe", "s", "caf", "grill"]
+
+    def test_keeps_digits(self):
+        assert tokenize("open 24hr, route 66") == ["open", "24hr", "route", "66"]
+
+    def test_empty(self):
+        assert tokenize("... --- !!!") == []
+
+
+class TestNormalizeKeywords:
+    def test_docstring_example(self):
+        assert normalize_keywords(
+            "Joe's Café & Grill — the BEST 24hr diner!"
+        ) == ("joe", "caf", "grill", "24hr", "diner")
+
+    def test_stopwords_dropped(self):
+        result = normalize_keywords("the hotel near the station")
+        assert "the" not in result
+        assert "near" not in result
+        assert result == ("hotel", "station")
+
+    def test_custom_stopwords(self):
+        result = normalize_keywords("hotel station", stopwords={"hotel"})
+        assert result == ("station",)
+
+    def test_no_stopwords(self):
+        result = normalize_keywords("the hotel", stopwords=())
+        assert result == ("the", "hotel")
+
+    def test_short_tokens_dropped_unless_digit(self):
+        assert normalize_keywords("a b 5 cd") == ("5", "cd")
+
+    def test_deduplication_keeps_first_order(self):
+        assert normalize_keywords("spa hotel spa pool hotel") == (
+            "spa",
+            "hotel",
+            "pool",
+        )
+
+    def test_token_iterable_input(self):
+        result = normalize_keywords(["Clean Rooms!", "Free WIFI"])
+        assert result == ("clean", "rooms", "free", "wifi")
+
+    def test_feeds_vocabulary(self):
+        from repro import Vocabulary
+
+        vocab = Vocabulary()
+        doc = vocab.encode(normalize_keywords("Sichuan HOTPOT, spicy!!!"))
+        assert vocab.decode(doc) == ["hotpot", "sichuan", "spicy"]
+
+    def test_min_length_knob(self):
+        assert normalize_keywords("go to spa", min_length=3, stopwords=()) == (
+            "spa",
+        )
+
+    def test_default_stopwords_frozen(self):
+        assert "the" in DEFAULT_STOPWORDS
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)

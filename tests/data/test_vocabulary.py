@@ -1,0 +1,50 @@
+"""Unit tests for keyword interning."""
+
+import pytest
+
+from repro import Vocabulary
+
+
+class TestInterning:
+    def test_ids_are_dense_and_stable(self):
+        vocab = Vocabulary()
+        assert vocab.intern("hotel") == 0
+        assert vocab.intern("clean") == 1
+        assert vocab.intern("hotel") == 0  # repeated intern is stable
+
+    def test_constructor_seeds_words(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 2
+        assert vocab.id_of("b") == 1
+
+    def test_id_of_unknown_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.id_of("zzz")
+
+    def test_word_of(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.word_of(1) == "y"
+        with pytest.raises(IndexError):
+            vocab.word_of(5)
+        with pytest.raises(IndexError):
+            vocab.word_of(-1)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        vocab = Vocabulary()
+        doc = vocab.encode(["sichuan", "cuisine", "restaurant"])
+        assert isinstance(doc, frozenset)
+        assert vocab.decode(doc) == ["cuisine", "restaurant", "sichuan"]
+
+    def test_encode_interns_new_words(self):
+        vocab = Vocabulary(["a"])
+        vocab.encode(["a", "b"])
+        assert "b" in vocab
+
+    def test_container_protocol(self):
+        vocab = Vocabulary(["a", "b"])
+        assert list(vocab) == ["a", "b"]
+        assert vocab.words == ("a", "b")
+        assert "a" in vocab and "c" not in vocab

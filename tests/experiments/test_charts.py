@@ -1,0 +1,89 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, figure_chart
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import MethodAggregate, PointResult
+
+
+def _result():
+    slow = MethodAggregate("BS")
+    slow.add(2.0, 20_000, 0.1)
+    fast = MethodAggregate("KcRBased")
+    fast.add(0.02, 300, 0.1)
+    point = PointResult(
+        x_label="k0", x_value=10, methods={"BS": slow, "KcRBased": fast}
+    )
+    return FigureResult(
+        figure="fig4", title="Varying k0", x_label="k0", points=[point]
+    )
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a |")
+        # larger value draws the longer bar
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("much-longer-label", 2.0)])
+        starts = {line.index("|") for line in chart.splitlines()}
+        assert len(starts) == 1
+
+    def test_none_and_negative_render_dash(self):
+        chart = bar_chart([("missing", None), ("bad", -1.0), ("ok", 3.0)])
+        lines = chart.splitlines()
+        assert lines[0].endswith("-")
+        assert lines[1].endswith("-")
+        assert "3" in lines[2]
+
+    def test_log_scale_keeps_small_bars_visible(self):
+        chart = bar_chart(
+            [("big", 10_000.0), ("small", 1.0)], log_scale=True, width=40
+        )
+        lines = chart.splitlines()
+        assert lines[1].count("█") >= 4  # not flattened to nothing
+
+    def test_zero_value_zero_bar(self):
+        chart = bar_chart([("zero", 0.0), ("one", 1.0)], log_scale=True)
+        assert chart.splitlines()[0].split("|")[1].strip().startswith("0")
+
+    def test_unit_suffix(self):
+        chart = bar_chart([("x", 2.0)], unit=" s")
+        assert chart.endswith("2 s")
+
+    def test_empty_series(self):
+        assert bar_chart([]) == ""
+
+
+class TestFigureChart:
+    def test_time_chart(self):
+        text = figure_chart(_result(), "time")
+        assert "fig4: mean time" in text
+        assert "k0=10 BS" in text
+        assert "k0=10 KcRBased" in text
+
+    def test_ios_chart(self):
+        text = figure_chart(_result(), "ios")
+        assert "pages" in text
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            figure_chart(_result(), "joules")
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["experiment", "ablation-index-baseline", "--scale", "smoke", "--chart"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean time" in out
+        assert "█" in out

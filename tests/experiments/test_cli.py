@@ -1,0 +1,76 @@
+"""End-to-end CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig4", "--scale", "smoke", "-o", "out.md"]
+        )
+        assert args.figure == "fig4"
+        assert args.scale == "smoke"
+        assert args.output == "out.md"
+
+
+class TestCommands:
+    def test_params(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "k0" in out
+        assert "10*" in out  # default marker
+
+    def test_datasets_smoke(self, capsys):
+        assert main(["datasets", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "euro-like" in out
+        assert "gn-like" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["experiment", "fig99", "--scale", "smoke"]) == 2
+
+    @pytest.mark.slow
+    def test_experiment_with_output(self, capsys, tmp_path):
+        out_file = tmp_path / "fig11.md"
+        assert (
+            main(["experiment", "fig11", "--scale", "smoke", "-o", str(out_file)])
+            == 0
+        )
+        assert out_file.exists()
+        content = out_file.read_text(encoding="utf-8")
+        assert "### fig11" in content
+
+    @pytest.mark.slow
+    def test_demo(self, capsys):
+        assert main(["demo", "--size", "800", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "KcRBased" in out
+        assert "refined query" in out
+
+    @pytest.mark.slow
+    def test_verify(self, capsys):
+        assert main(["verify", "--size", "500", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 trials verified" in out
+        assert "FAIL" not in out
+
+    @pytest.mark.slow
+    def test_ablation_by_name(self, capsys):
+        assert (
+            main(["experiment", "ablation-capacity", "--scale", "smoke"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "node_capacity" in out
+
+    @pytest.mark.slow
+    def test_quality(self, capsys):
+        assert main(["quality", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "keyword_edit_win_rate" in out
+        assert "lambda" in out

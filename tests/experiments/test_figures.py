@@ -1,0 +1,113 @@
+"""Smoke-scale integration tests for the per-figure experiment drivers.
+
+Each figure runs end-to-end at the ``smoke`` scale and must (a)
+produce a row per sweep value, (b) report zero exact-method penalty
+mismatches, and (c) exhibit the paper's headline shape where the shape
+is robust at tiny scale (BS slowest; approximate never better than
+exact).
+"""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.figures import (
+    FIGURES,
+    clear_cache,
+    run_figure,
+    table2_dataset_info,
+)
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFigureRegistry:
+    def test_all_ten_figures_present(self):
+        assert sorted(FIGURES) == [
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        ]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99", "smoke")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure("fig4", "galactic")
+
+
+class TestTable2:
+    def test_dataset_info(self):
+        rows = table2_dataset_info(SMOKE)
+        names = {row["name"] for row in rows}
+        assert names == {"euro-like", "gn-like"}
+        for row in rows:
+            assert row["total_objects"] > 0
+            assert row["total_distinct_words"] > 0
+
+
+@pytest.mark.slow
+class TestFiguresSmoke:
+    def test_fig4(self):
+        result = run_figure("fig4", "smoke")
+        assert result.total_mismatches == 0
+        assert len(result.points) >= 2  # large k0 points may not fit smoke data
+        for point in result.points:
+            kcr = point.methods["KcRBased"]
+            assert kcr.mean_time is not None and kcr.mean_time > 0
+
+    def test_fig6_alpha_sweep(self):
+        result = run_figure("fig6", "smoke")
+        assert result.total_mismatches == 0
+        assert [p.x_value for p in result.points] == [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    def test_fig9_multi_missing(self):
+        result = run_figure("fig9", "smoke")
+        assert result.total_mismatches == 0
+        assert [p.x_value for p in result.points] == [1, 2, 3, 4]
+
+    def test_fig10_makespan_monotone(self):
+        result = run_figure("fig10", "smoke")
+        times = [p.methods["KcRBased"].mean_time for p in result.points]
+        assert all(t is not None and t > 0 for t in times)
+        # More threads should not make the simulated makespan much
+        # worse.  At smoke scale a point is a single sub-millisecond
+        # query, so allow generous absolute + relative noise headroom;
+        # strict monotonicity of makespan() itself is unit-tested in
+        # tests/core/test_parallel.py.
+        assert times[-1] <= times[0] * 3.0 + 0.05
+
+    def test_fig11_advanced_beats_bs(self):
+        result = run_figure("fig11", "smoke")
+        point = result.points[0]
+        bs = point.methods["BS"].mean_time
+        advanced = point.methods["AdvancedBS"].mean_time
+        assert advanced < bs
+
+    def test_fig12_approx_not_better_than_exact(self):
+        result = run_figure("fig12", "smoke")
+        exact_point = result.points[-1]
+        exact_penalty = exact_point.methods["KcRBased"].mean_penalty
+        for point in result.points[:-1]:
+            for label, agg in point.methods.items():
+                assert agg.mean_penalty >= exact_penalty - 1e-9
+
+    def test_fig13_rows_per_size(self):
+        result = run_figure("fig13", "smoke")
+        assert [p.x_value for p in result.points] == list(SMOKE.gn_sizes)
+        assert result.total_mismatches == 0

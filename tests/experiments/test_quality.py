@@ -1,0 +1,65 @@
+"""Tests for the result-quality profiler."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.figures import clear_cache
+from repro.experiments.quality import (
+    QualityProfile,
+    profile_quality,
+    quality_report_rows,
+)
+
+
+class TestQualityProfile:
+    def test_empty_profile_safe(self):
+        profile = QualityProfile(lam=0.5)
+        assert profile.win_rate == 0.0
+        assert profile.mean_penalty == 0.0
+        assert profile.mean_saving == 0.0
+        row = profile.row()
+        assert row["n"] == 0
+
+    def test_add_accumulates(self, euro_engine, euro_cases):
+        question = euro_cases[0]
+        answer = euro_engine.answer(question, method="kcr")
+        profile = QualityProfile(lam=question.lam)
+        profile.add(answer, question)
+        assert profile.n_cases == 1
+        assert profile.total_penalty == pytest.approx(answer.refined.penalty)
+        expected_win = 1 if answer.refined.delta_doc > 0 else 0
+        assert profile.keyword_edit_wins == expected_win
+
+    def test_saving_is_lambda_minus_penalty(self, euro_engine, euro_cases):
+        question = euro_cases[1]
+        answer = euro_engine.answer(question, method="kcr")
+        profile = QualityProfile(lam=question.lam)
+        profile.add(answer, question)
+        assert profile.mean_saving == pytest.approx(
+            question.lam - answer.refined.penalty
+        )
+
+
+@pytest.mark.slow
+class TestProfileQuality:
+    def test_smoke_profile(self):
+        clear_cache()
+        try:
+            profiles = profile_quality(
+                SCALES["smoke"], lams=(0.2, 0.8), n_cases_per_lam=2
+            )
+        finally:
+            clear_cache()
+        assert [p.lam for p in profiles] == [0.2, 0.8]
+        for profile in profiles:
+            assert profile.n_cases == 2
+            # the optimum never exceeds the basic refinement's penalty
+            assert profile.mean_penalty <= profile.lam + 1e-9
+        rows = quality_report_rows(profiles)
+        assert rows[0]["lambda"] == 0.2
+        assert set(rows[0]) >= {
+            "keyword_edit_win_rate",
+            "mean_penalty",
+            "mean_delta_doc",
+            "mean_delta_k",
+        }

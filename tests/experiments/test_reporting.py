@@ -1,0 +1,77 @@
+"""Unit tests for table rendering."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import (
+    figure_to_markdown,
+    figure_to_text,
+    format_value,
+    rows_to_table,
+)
+from repro.experiments.runner import MethodAggregate, PointResult
+
+
+def _fake_result():
+    agg = MethodAggregate("KcRBased")
+    agg.add(0.125, 640, 0.25)
+    point = PointResult(x_label="k0", x_value=10, methods={"KcRBased": agg})
+    return FigureResult(
+        figure="fig4", title="Varying k0", x_label="k0", points=[point]
+    )
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_numbers_get_commas(self):
+        assert format_value(123456.0) == "123,456"
+
+    def test_small_floats_four_decimals(self):
+        assert format_value(0.12345) == "0.1235"
+
+    def test_mid_floats_three_decimals(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_strings_pass_through(self):
+        assert format_value("exact") == "exact"
+
+
+class TestRowsToTable:
+    def test_empty(self):
+        assert rows_to_table([]) == "(no data)"
+
+    def test_alignment_and_content(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = rows_to_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3] if len(lines) > 3 else "22" in text
+
+    def test_missing_column_rendered_as_dash(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = rows_to_table(rows, columns=["a", "b"])
+        assert "-" in text
+
+
+class TestFigureRendering:
+    def test_text_contains_title_and_data(self):
+        text = figure_to_text(_fake_result())
+        assert "fig4" in text
+        assert "Varying k0" in text
+        assert "KcRBased_time_s" in text
+        assert "0.125" in text.replace(",", "")
+
+    def test_markdown_structure(self):
+        md = figure_to_markdown(_fake_result())
+        assert md.startswith("### fig4")
+        assert "| k0 |" in md or "| k0 " in md
+        assert "|---" in md
+
+    def test_mismatch_warning_surfaces(self):
+        result = _fake_result()
+        result.points[0].mismatches = 2
+        assert "WARNING" in figure_to_text(result)
+        assert "WARNING" in figure_to_markdown(result)

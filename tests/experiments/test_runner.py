@@ -1,0 +1,73 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import MethodAggregate, MethodSpec, Runner
+from repro.experiments.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def cases(euro_small):
+    dataset, _ = euro_small
+    generator = WorkloadGenerator(dataset, seed=123)
+    return generator.generate(2, k0=5, n_keywords=3, max_extra_keywords=4)
+
+
+class TestMethodSpec:
+    def test_exactness_classification(self):
+        assert MethodSpec("BS", "basic").is_exact()
+        assert MethodSpec("A", "advanced", {"ordering": False}).is_exact()
+        assert MethodSpec("K", "kcr").is_exact()
+        assert MethodSpec("P", "parallel-kcr").is_exact()
+        assert not MethodSpec("X", "approximate", {"sample_size": 5}).is_exact()
+
+
+class TestAggregate:
+    def test_means(self):
+        agg = MethodAggregate("X")
+        agg.add(1.0, 10, 0.5)
+        agg.add(3.0, 30, 0.7)
+        assert agg.mean_time == pytest.approx(2.0)
+        assert agg.mean_ios == pytest.approx(20)
+        assert agg.mean_penalty == pytest.approx(0.6)
+
+    def test_empty_means_are_none(self):
+        agg = MethodAggregate("X")
+        assert agg.mean_time is None
+        assert agg.mean_ios is None
+
+
+class TestRunner:
+    def test_runs_and_agrees(self, euro_engine, cases):
+        runner = Runner(euro_engine)
+        specs = (
+            MethodSpec("AdvancedBS", "advanced"),
+            MethodSpec("KcRBased", "kcr"),
+        )
+        point = runner.run_point("x", 1, cases, specs)
+        assert point.mismatches == 0
+        for label in ("AdvancedBS", "KcRBased"):
+            agg = point.methods[label]
+            assert agg.n_cases == len(cases)
+            assert agg.mean_time > 0
+            assert agg.mean_ios > 0
+
+    def test_bs_cap_skips(self, euro_engine, cases):
+        runner = Runner(euro_engine, bs_candidate_cap=1)
+        point = runner.run_point(
+            "x", 1, cases, (MethodSpec("BS", "basic"),)
+        )
+        agg = point.methods["BS"]
+        assert agg.skipped == len(cases)
+        assert agg.n_cases == 0
+
+    def test_row_shape(self, euro_engine, cases):
+        runner = Runner(euro_engine)
+        point = runner.run_point(
+            "k0", 5, cases[:1], (MethodSpec("KcRBased", "kcr"),)
+        )
+        row = point.row()
+        assert row["k0"] == 5
+        assert "KcRBased_time_s" in row
+        assert "KcRBased_ios" in row
+        assert "KcRBased_penalty" in row

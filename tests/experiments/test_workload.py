@@ -1,0 +1,91 @@
+"""Unit tests for the workload generator."""
+
+import pytest
+
+from repro import Oracle
+from repro.experiments.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def generator(euro_small):
+    dataset, _ = euro_small
+    return WorkloadGenerator(dataset, seed=99)
+
+
+class TestSingleMissing:
+    def test_exact_rank_protocol(self, generator, euro_small):
+        dataset, _ = euro_small
+        oracle = Oracle(dataset)
+        cases = generator.generate(3, k0=5, n_keywords=3, rank_target=26)
+        assert len(cases) == 3
+        for case in cases:
+            assert case.initial_rank == 26
+            assert len(case.question.missing) == 1
+            oid = case.question.missing[0]
+            assert oracle.rank(oid, case.question.query) == 26
+
+    def test_default_rank_is_5k0_plus_1(self, generator):
+        cases = generator.generate(2, k0=4, n_keywords=3)
+        for case in cases:
+            assert case.initial_rank == 21
+
+    def test_query_parameters_respected(self, generator):
+        cases = generator.generate(2, k0=7, n_keywords=4, alpha=0.3, lam=0.9)
+        for case in cases:
+            assert case.question.query.k == 7
+            assert len(case.question.query.doc) == 4
+            assert case.question.query.alpha == 0.3
+            assert case.question.lam == 0.9
+
+    def test_max_extra_keywords_cap(self, generator, euro_small):
+        dataset, _ = euro_small
+        cases = generator.generate(3, k0=5, n_keywords=3, max_extra_keywords=3)
+        for case in cases:
+            missing_doc = dataset.get(case.question.missing[0]).doc
+            assert len(missing_doc - case.question.query.doc) <= 3
+
+    def test_candidate_space_recorded(self, generator, euro_small):
+        dataset, _ = euro_small
+        case = generator.generate(1, k0=5, n_keywords=3)[0]
+        universe = len(
+            case.question.query.doc | dataset.get(case.question.missing[0]).doc
+        )
+        assert case.candidate_space == 2**universe
+
+    def test_determinism(self, euro_small):
+        dataset, _ = euro_small
+        a = WorkloadGenerator(dataset, seed=5).generate(2, k0=5, n_keywords=3)
+        b = WorkloadGenerator(dataset, seed=5).generate(2, k0=5, n_keywords=3)
+        assert [c.question for c in a] == [c.question for c in b]
+
+    def test_impossible_constraints_raise(self, generator):
+        with pytest.raises(RuntimeError):
+            generator.generate(
+                2, k0=5, n_keywords=3, max_extra_keywords=0, max_attempts_factor=5
+            )
+
+
+class TestMultipleMissing:
+    def test_missing_count_and_range(self, generator, euro_small):
+        dataset, _ = euro_small
+        oracle = Oracle(dataset)
+        cases = generator.generate(
+            2,
+            k0=10,
+            n_keywords=3,
+            n_missing=3,
+            missing_rank_range=(11, 51),
+            max_extra_keywords=4,
+        )
+        for case in cases:
+            assert len(case.question.missing) == 3
+            for oid in case.question.missing:
+                rank = oracle.rank(oid, case.question.query)
+                assert 11 <= rank <= 51
+
+    def test_initial_rank_exceeds_k0(self, generator):
+        cases = generator.generate(
+            2, k0=10, n_keywords=3, n_missing=2, missing_rank_range=(11, 51)
+        )
+        for case in cases:
+            assert case.initial_rank > 10

@@ -1,0 +1,74 @@
+"""Edge-case tests for workload generation protocols."""
+
+import pytest
+
+from repro import Oracle
+from repro.experiments.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def generator(euro_small):
+    dataset, _ = euro_small
+    return WorkloadGenerator(dataset, seed=2024)
+
+
+class TestRangeProtocolWithSingleMissing:
+    def test_single_missing_with_range(self, generator, euro_small):
+        """Passing a rank range with n_missing=1 uses the pool
+        protocol (Fig 9 semantics), not the exact-rank protocol."""
+        dataset, _ = euro_small
+        oracle = Oracle(dataset)
+        cases = generator.generate(
+            2,
+            k0=10,
+            n_keywords=3,
+            n_missing=1,
+            missing_rank_range=(11, 40),
+            max_extra_keywords=4,
+        )
+        for case in cases:
+            oid = case.question.missing[0]
+            rank = oracle.rank(oid, case.question.query)
+            assert 11 <= rank <= 40
+
+
+class TestMissingObjectsDistinct:
+    def test_no_duplicate_missing(self, generator):
+        cases = generator.generate(
+            2,
+            k0=10,
+            n_keywords=3,
+            n_missing=3,
+            missing_rank_range=(11, 51),
+            max_extra_keywords=4,
+        )
+        for case in cases:
+            assert len(set(case.question.missing)) == len(case.question.missing)
+
+
+class TestQueryGeometry:
+    def test_locations_inside_unit_square(self, generator):
+        cases = generator.generate(3, k0=5, n_keywords=3, max_extra_keywords=4)
+        for case in cases:
+            x, y = case.question.query.loc
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_keyword_count_exact(self, generator):
+        for n_keywords in (2, 5):
+            cases = generator.generate(
+                1, k0=5, n_keywords=n_keywords, max_extra_keywords=4
+            )
+            assert len(cases[0].question.query.doc) == n_keywords
+
+
+class TestSeedsIsolateStreams:
+    def test_different_seeds_different_workloads(self, euro_small):
+        dataset, _ = euro_small
+        a = WorkloadGenerator(dataset, seed=1).generate(
+            2, k0=5, n_keywords=3, max_extra_keywords=4
+        )
+        b = WorkloadGenerator(dataset, seed=2).generate(
+            2, k0=5, n_keywords=3, max_extra_keywords=4
+        )
+        assert [c.question for c in a] != [c.question for c in b]

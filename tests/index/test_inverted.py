@@ -1,0 +1,89 @@
+"""Tests for the R-tree + inverted-file baseline index."""
+
+import numpy as np
+import pytest
+
+from repro import InvertedFileIndex, Oracle, SpatialKeywordQuery
+
+
+@pytest.fixture(scope="module")
+def inverted(euro_small):
+    dataset, _ = euro_small
+    return InvertedFileIndex(dataset, capacity=16)
+
+
+def _queries(dataset, n=4, seed=61, k=10):
+    rng = np.random.default_rng(seed)
+    queries = []
+    while len(queries) < n:
+        obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(obj.doc)[:3])
+        if doc:
+            queries.append(SpatialKeywordQuery(loc=obj.loc, doc=doc, k=k))
+    return queries
+
+
+class TestCorrectness:
+    def test_top_k_matches_oracle(self, inverted, euro_small, euro_oracle):
+        dataset, _ = euro_small
+        row_of = {o.oid: i for i, o in enumerate(dataset.objects)}
+        for query in _queries(dataset):
+            got = [oid for _, oid in inverted.top_k(query)]
+            expected = euro_oracle.top_k_ids(query)
+            scores = euro_oracle.scores(query)
+            assert sorted(round(scores[row_of[i]], 12) for i in got) == sorted(
+                round(scores[row_of[i]], 12) for i in expected
+            )
+
+    def test_rank_matches_oracle(self, inverted, euro_small, euro_oracle):
+        dataset, _ = euro_small
+        query = _queries(dataset, n=1, seed=67)[0]
+        for oid in (3, 99, 500):
+            obj = dataset.get(oid)
+            result = inverted.rank_of_missing(query, [obj])
+            assert result.rank == euro_oracle.rank(oid, query)
+
+    def test_unknown_keyword_harmless(self, inverted, euro_small):
+        dataset, _ = euro_small
+        query = SpatialKeywordQuery(
+            loc=(0.5, 0.5), doc=frozenset({10**6}), k=3
+        )
+        results = inverted.top_k(query)
+        assert len(results) == 3  # purely spatial ranking
+
+    def test_early_stop_contract(self, inverted, euro_small, euro_oracle):
+        dataset, _ = euro_small
+        query = _queries(dataset, n=1, seed=71)[0]
+        deep = max(
+            (dataset.objects[i] for i in range(0, len(dataset), 97)),
+            key=lambda o: euro_oracle.rank(o.oid, query),
+        )
+        if euro_oracle.rank(deep.oid, query) <= 5:
+            pytest.skip("no deep object in sample")
+        result = inverted.rank_of_missing(query, [deep], stop_limit=5)
+        assert result.aborted and result.rank is None
+
+
+class TestPruningWeakness:
+    def test_more_io_than_setr_tree(self, inverted, euro_small, euro_engine):
+        """The motivating observation for hybrid indexes: text-blind
+        nodes prune poorly, so the baseline reads more pages for the
+        same rank determination."""
+        dataset, _ = euro_small
+        from repro import TopKSearcher
+
+        query = _queries(dataset, n=1, seed=73)[0]
+        missing = [dataset.objects[700]]
+
+        inverted.reset_buffer()
+        before = inverted.stats.snapshot()
+        inverted.rank_of_missing(query, missing)
+        baseline_io = (inverted.stats.snapshot() - before).page_reads
+
+        setr = euro_engine.setr_tree
+        setr.reset_buffer()
+        before = setr.stats.snapshot()
+        TopKSearcher(setr).rank_of_missing(query, missing)
+        hybrid_io = (setr.stats.snapshot() - before).page_reads
+
+        assert baseline_io >= hybrid_io

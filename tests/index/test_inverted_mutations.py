@@ -1,0 +1,72 @@
+"""Tests for inverted-file postings maintenance under insertion."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    InvertedFileIndex,
+    Oracle,
+    SpatialKeywordQuery,
+    SpatialObject,
+    make_euro_like,
+)
+
+
+@pytest.fixture()
+def setup():
+    full, _ = make_euro_like(150, seed=97)
+    dataset = Dataset(list(full.objects), diagonal=full.diagonal)
+    return dataset, InvertedFileIndex(dataset, capacity=8)
+
+
+class TestPostingsMaintenance:
+    def test_insert_with_existing_terms(self, setup):
+        dataset, index = setup
+        seed_obj = dataset.objects[3]
+        term = next(iter(seed_obj.doc))
+        obj = SpatialObject(oid=10**6, loc=(0.5, 0.5), doc=frozenset({term}))
+        dataset.add(obj)
+        index.insert(obj)
+        scores, _ = index._textual_scores(frozenset({term}))
+        assert obj.oid in scores
+        assert scores[obj.oid] == pytest.approx(1.0)
+
+    def test_insert_with_fresh_term(self, setup):
+        dataset, index = setup
+        fresh_term = max(dataset.doc_frequency) + 1
+        obj = SpatialObject(
+            oid=10**6, loc=(0.3, 0.3), doc=frozenset({fresh_term})
+        )
+        dataset.add(obj)
+        index.insert(obj)
+        query = SpatialKeywordQuery(
+            loc=(0.3, 0.3), doc=frozenset({fresh_term}), k=1, alpha=0.4
+        )
+        assert index.top_k(query)[0][1] == obj.oid
+
+    def test_postings_update_charges_writes(self, setup):
+        dataset, index = setup
+        seed_obj = dataset.objects[0]
+        obj = SpatialObject(oid=10**6, loc=(0.5, 0.5), doc=seed_obj.doc)
+        dataset.add(obj)
+        before = index.stats.page_writes
+        index.insert(obj)
+        assert index.stats.page_writes > before
+
+    def test_rank_search_correct_after_growth(self, setup):
+        dataset, index = setup
+        for i in range(20):
+            obj = SpatialObject(
+                oid=10**6 + i,
+                loc=(0.1 + 0.04 * i, 0.2),
+                doc=frozenset({i % 5, 5 + i % 3}),
+            )
+            dataset.add(obj)
+            index.insert(obj)
+        oracle = Oracle(dataset)
+        query = SpatialKeywordQuery(
+            loc=(0.3, 0.2), doc=frozenset({1, 6}), k=5
+        )
+        target = dataset.get(10**6 + 7)
+        result = index.rank_of_missing(query, [target])
+        assert result.rank == oracle.rank(target.oid, query)

@@ -1,0 +1,135 @@
+"""Tests for index save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    IndexStructureError,
+    KcRTree,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    TopKSearcher,
+    load_index,
+    make_euro_like,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_euro_like(300, seed=41)[0]
+
+
+def _structure_signature(tree):
+    """Nested tuple of (level, sorted leaf oid groups) — tree shape."""
+
+    def walk(node_id):
+        node = tree.buffer.fetch(node_id)
+        if node.is_leaf:
+            return ("leaf", node.level, tuple(sorted(e.oid for e in node.entries)))
+        return (
+            "branch",
+            node.level,
+            tuple(sorted(walk(e.child_id) for e in node.entries)),
+        )
+
+    return walk(tree.root_id)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("tree_cls", [SetRTree, KcRTree])
+    def test_shape_preserved(self, dataset, tmp_path, tree_cls):
+        tree = tree_cls(dataset, capacity=8)
+        path = tmp_path / "index.json"
+        save_index(tree, path)
+        loaded = load_index(path, dataset)
+        assert type(loaded) is tree_cls
+        assert loaded.capacity == tree.capacity
+        assert loaded.height == tree.height
+        assert loaded.node_count == tree.node_count
+        assert _structure_signature(loaded) == _structure_signature(tree)
+        loaded.validate()
+
+    def test_queries_identical_after_load(self, dataset, tmp_path):
+        tree = SetRTree(dataset, capacity=8)
+        path = tmp_path / "index.json"
+        save_index(tree, path)
+        loaded = load_index(path, dataset)
+        oracle = Oracle(dataset)
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+            doc = frozenset(list(obj.doc)[:3])
+            query = SpatialKeywordQuery(loc=obj.loc, doc=doc, k=8)
+            original = [oid for _, oid in TopKSearcher(tree).top_k(query)]
+            reloaded = [oid for _, oid in TopKSearcher(loaded).top_k(query)]
+            assert original == reloaded  # identical shape -> identical order
+
+    def test_grown_tree_shape_survives(self, tmp_path):
+        """The point of persistence: an insertion-grown tree has a
+        shape STR would never produce; reload must preserve it."""
+        full, _ = make_euro_like(200, seed=43)
+        objects = list(full.objects)
+        dataset = Dataset(objects[:100], diagonal=full.diagonal)
+        tree = KcRTree(dataset, capacity=4)
+        for obj in objects[100:]:
+            dataset.add(obj)
+            tree.insert(obj)
+        path = tmp_path / "grown.json"
+        save_index(tree, path)
+        loaded = load_index(path, dataset)
+        assert _structure_signature(loaded) == _structure_signature(tree)
+        loaded.validate()
+
+    def test_loaded_tree_accepts_inserts(self, dataset, tmp_path):
+        tree = SetRTree(dataset, capacity=8)
+        path = tmp_path / "index.json"
+        save_index(tree, path)
+        grown = Dataset(list(dataset.objects), diagonal=dataset.diagonal)
+        loaded = load_index(path, grown)
+        from repro import SpatialObject
+
+        extra = SpatialObject(oid=10**6, loc=(0.5, 0.5), doc=frozenset({1, 2}))
+        grown.add(extra)
+        loaded.insert(extra)
+        loaded.validate()
+
+
+class TestErrors:
+    def test_bad_version(self, dataset, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}), encoding="utf-8")
+        with pytest.raises(IndexStructureError):
+            load_index(path, dataset)
+
+    def test_unknown_tree_type(self, dataset, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format_version": 1, "tree_type": "btree"}),
+            encoding="utf-8",
+        )
+        with pytest.raises(IndexStructureError):
+            load_index(path, dataset)
+
+    def test_missing_object_rejected(self, dataset, tmp_path):
+        tree = SetRTree(dataset, capacity=8)
+        path = tmp_path / "index.json"
+        save_index(tree, path)
+        truncated = Dataset(
+            list(dataset.objects)[:-5], diagonal=dataset.diagonal
+        )
+        from repro import DatasetError
+
+        with pytest.raises(DatasetError):
+            load_index(path, truncated)
+
+    def test_unsupported_tree_type_on_save(self, dataset, tmp_path):
+        from repro import InvertedFileIndex
+
+        index = InvertedFileIndex(dataset)
+        with pytest.raises(IndexStructureError):
+            save_index(index.tree, tmp_path / "x.json")

@@ -1,0 +1,171 @@
+"""Unit and integration tests for the best-first top-k / rank search."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KcRTree,
+    Oracle,
+    Scorer,
+    SetRTree,
+    SpatialKeywordQuery,
+    TopKSearcher,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(euro_small):
+    dataset, _ = euro_small
+    setr = SetRTree(dataset, capacity=16)
+    kcr = KcRTree(dataset, capacity=16)
+    oracle = Oracle(dataset)
+    return dataset, setr, kcr, oracle
+
+
+def _queries(dataset, n=5, k=10, alpha=0.5, seed=13):
+    rng = np.random.default_rng(seed)
+    queries = []
+    while len(queries) < n:
+        obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(obj.doc)[:3])
+        if not doc:
+            continue
+        queries.append(SpatialKeywordQuery(loc=obj.loc, doc=doc, k=k, alpha=alpha))
+    return queries
+
+
+class TestTopKAgainstOracle:
+    def test_setr_top_k_matches_oracle(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        for query in _queries(dataset, n=6):
+            got = [oid for _, oid in searcher.top_k(query)]
+            expected = oracle.top_k_ids(query)
+            # Permutations within score ties are allowed; compare the
+            # score multisets instead of raw id lists.
+            scores = oracle.scores(query)
+            row_of = {o.oid: i for i, o in enumerate(dataset.objects)}
+            got_scores = sorted(round(scores[row_of[i]], 12) for i in got)
+            exp_scores = sorted(round(scores[row_of[i]], 12) for i in expected)
+            assert got_scores == exp_scores
+
+    def test_kcr_top_k_matches_oracle(self, setup):
+        dataset, _, kcr, oracle = setup
+        searcher = TopKSearcher(kcr)
+        for query in _queries(dataset, n=4, seed=17):
+            got = [oid for _, oid in searcher.top_k(query)]
+            expected = oracle.top_k_ids(query)
+            scores = oracle.scores(query)
+            row_of = {o.oid: i for i, o in enumerate(dataset.objects)}
+            assert sorted(round(scores[row_of[i]], 12) for i in got) == sorted(
+                round(scores[row_of[i]], 12) for i in expected
+            )
+
+    def test_top_k_scores_descending(self, setup):
+        dataset, setr, _, _ = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, k=25)[0]
+        results = searcher.top_k(query)
+        values = [s for s, _ in results]
+        assert all(values[i] >= values[i + 1] - 1e-12 for i in range(len(values) - 1))
+
+    def test_k_larger_than_dataset(self, setup):
+        dataset, setr, _, _ = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1)[0].with_k(len(dataset) + 50)
+        assert len(searcher.top_k(query)) == len(dataset)
+
+
+class TestRankDetermination:
+    def test_rank_matches_oracle(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        rng = np.random.default_rng(3)
+        for query in _queries(dataset, n=4, seed=23):
+            oid = int(rng.integers(0, len(dataset)))
+            obj = dataset.get(dataset.objects[oid].oid)
+            result = searcher.rank_of_missing(query, [obj])
+            assert not result.aborted
+            assert result.rank == oracle.rank(obj.oid, query)
+
+    def test_rank_with_keyword_override(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=29)[0]
+        keywords = frozenset(list(query.doc)[:1])
+        obj = dataset.objects[42]
+        result = searcher.rank_of_missing(query, [obj], keywords=keywords)
+        assert result.rank == oracle.rank(obj.oid, query, keywords)
+
+    def test_rank_of_missing_set_is_max(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=31)[0]
+        objs = [dataset.objects[10], dataset.objects[77], dataset.objects[300]]
+        result = searcher.rank_of_missing(query, objs)
+        assert result.rank == oracle.rank_of_set([o.oid for o in objs], query)
+
+    def test_dominators_are_strictly_better(self, setup):
+        dataset, setr, _, _ = setup
+        searcher = TopKSearcher(setr)
+        scorer = Scorer(dataset)
+        query = _queries(dataset, n=1, seed=37)[0]
+        obj = dataset.objects[5]
+        result = searcher.rank_of_missing(query, [obj])
+        threshold = scorer.st(obj, query)
+        for oid in result.dominators:
+            assert scorer.st(dataset.get(oid), query) > threshold
+        assert result.rank == len(result.dominators) + 1
+
+    def test_early_stop_aborts(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=41)[0]
+        # Pick an object with a deep rank, then stop far before it.
+        deep_obj = max(
+            (dataset.objects[i] for i in range(0, len(dataset), 53)),
+            key=lambda o: oracle.rank(o.oid, query),
+        )
+        true_rank = oracle.rank(deep_obj.oid, query)
+        if true_rank < 20:
+            pytest.skip("workload produced no deep object")
+        result = searcher.rank_of_missing(query, [deep_obj], stop_limit=5)
+        assert result.aborted
+        assert result.rank is None
+        assert len(result.dominators) == 5
+
+    def test_stop_limit_above_rank_completes(self, setup):
+        dataset, setr, _, oracle = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=43)[0]
+        obj = dataset.objects[9]
+        rank = oracle.rank(obj.oid, query)
+        result = searcher.rank_of_missing(query, [obj], stop_limit=rank + 10)
+        assert not result.aborted
+        assert result.rank == rank
+
+
+class TestIOBehaviour:
+    def test_search_charges_io_when_cold(self, setup):
+        dataset, setr, _, _ = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=47)[0]
+        setr.reset_buffer()
+        before = setr.stats.snapshot()
+        searcher.top_k(query)
+        delta = setr.stats.snapshot() - before
+        assert delta.page_reads > 0
+        assert delta.node_fetches > 0
+
+    def test_warm_search_cheaper(self, setup):
+        dataset, setr, _, _ = setup
+        searcher = TopKSearcher(setr)
+        query = _queries(dataset, n=1, seed=53)[0]
+        setr.reset_buffer()
+        before = setr.stats.snapshot()
+        searcher.top_k(query)
+        cold = (setr.stats.snapshot() - before).page_reads
+        before = setr.stats.snapshot()
+        searcher.top_k(query)
+        warm = (setr.stats.snapshot() - before).page_reads
+        assert warm < cold

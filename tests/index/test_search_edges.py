@@ -1,0 +1,122 @@
+"""Edge-case tests for the best-first searcher and algorithm paths
+that the main suites exercise only implicitly."""
+
+import pytest
+
+from repro import (
+    Dataset,
+    KcRTree,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    TopKSearcher,
+)
+
+
+def _line_dataset(n=12):
+    objects = [
+        SpatialObject(
+            oid=i,
+            loc=(i / (n - 1), 0.0),
+            doc=frozenset({i % 4, 4 + (i % 2)}),
+        )
+        for i in range(n)
+    ]
+    return Dataset(objects, diagonal=1.0)
+
+
+class TestScoreObject:
+    def test_matches_oracle(self):
+        dataset = _line_dataset()
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        oracle = Oracle(dataset)
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({0, 4}), k=3)
+        scores = oracle.scores(query)
+        for row, obj in enumerate(dataset.objects):
+            assert searcher.score_object(obj, query) == pytest.approx(
+                scores[row]
+            )
+
+    def test_keyword_override(self):
+        dataset = _line_dataset()
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({0}), k=3)
+        obj = dataset.objects[0]
+        with_override = searcher.score_object(obj, query, frozenset({4}))
+        direct = searcher.score_object(obj, query.with_keywords({4}))
+        assert with_override == pytest.approx(direct)
+
+
+class TestKcRRankSearch:
+    def test_kcr_rank_with_keyword_override(self):
+        dataset = _line_dataset()
+        tree = KcRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        oracle = Oracle(dataset)
+        query = SpatialKeywordQuery(loc=(0.5, 0.0), doc=frozenset({0}), k=3)
+        override = frozenset({4, 5})
+        target = dataset.objects[7]
+        result = searcher.rank_of_missing(query, [target], keywords=override)
+        assert result.rank == oracle.rank(target.oid, query, override)
+
+
+class TestAlphaExtremes:
+    @pytest.mark.parametrize("alpha", [0.01, 0.99])
+    def test_near_degenerate_alpha(self, alpha):
+        """α near its open-interval endpoints must not break the
+        Theorem 1/2 bound arithmetic (the ratio α/(1−α) blows up)."""
+        dataset = _line_dataset()
+        tree = SetRTree(dataset, capacity=4)
+        kcr = KcRTree(dataset, capacity=4)
+        oracle = Oracle(dataset)
+        query = SpatialKeywordQuery(
+            loc=(0.2, 0.0), doc=frozenset({0, 4}), k=4, alpha=alpha
+        )
+        for t in (tree, kcr):
+            got = [oid for _, oid in TopKSearcher(t).top_k(query)]
+            expected = oracle.top_k_ids(query)
+            scores = oracle.scores(query)
+            row = {o.oid: i for i, o in enumerate(dataset.objects)}
+            assert sorted(round(scores[row[i]], 10) for i in got) == sorted(
+                round(scores[row[i]], 10) for i in expected
+            )
+
+
+class TestAdvancedNaiveOrderPath:
+    def test_naive_order_with_early_stop_is_exact(self, euro_engine, euro_cases):
+        """The ordering=False branch takes `continue` (not break) on
+        keyword-penalty prunes; the answer must still be optimal."""
+        question = euro_cases[0]
+        reference = euro_engine.answer(question, method="kcr")
+        answer = euro_engine.answer(
+            question,
+            method="advanced",
+            ordering=False,
+            early_stop=True,
+            filtering=True,
+        )
+        assert answer.refined.penalty == pytest.approx(reference.refined.penalty)
+        # under naive order the keyword-penalty prune cannot terminate
+        # the enumeration, so enumerated >= the ordered variant
+        ordered = euro_engine.answer(question, method="advanced")
+        assert (
+            answer.counters.candidates_enumerated
+            >= ordered.counters.candidates_enumerated
+        )
+
+
+class TestSingleObjectTrees:
+    def test_rank_of_only_object(self):
+        dataset = Dataset(
+            [SpatialObject(oid=0, loc=(0.5, 0.5), doc=frozenset({1}))],
+            diagonal=1.0,
+        )
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=1)
+        result = searcher.rank_of_missing(query, [dataset.get(0)])
+        assert result.rank == 1
+        assert result.dominators == ()

@@ -1,0 +1,69 @@
+"""White-box tests for quadratic split and the min-fill rule."""
+
+import pytest
+
+from repro import Dataset, SetRTree, SpatialObject
+from repro.index.rtree import _quadratic_split
+from repro.model.geometry import Rect
+
+
+def _entries(points):
+    return [
+        SpatialObject(oid=i, loc=p, doc=frozenset({0})) for i, p in enumerate(points)
+    ]
+
+
+def _rect_of(entry):
+    return Rect.from_point(entry.loc)
+
+
+class TestQuadraticSplit:
+    def test_partitions_everything_once(self):
+        entries = _entries([(0.1 * i, 0.05 * i) for i in range(9)])
+        a, b = _quadratic_split(entries, _rect_of, min_fill=3)
+        assert sorted(e.oid for e in a + b) == list(range(9))
+        assert not ({e.oid for e in a} & {e.oid for e in b})
+
+    def test_min_fill_respected(self):
+        entries = _entries([(0.1 * i, 0.0) for i in range(10)])
+        for min_fill in (1, 2, 4):
+            a, b = _quadratic_split(entries, _rect_of, min_fill=min_fill)
+            assert len(a) >= min_fill
+            assert len(b) >= min_fill
+
+    def test_separates_two_clusters(self):
+        cluster_a = [(0.01 * i, 0.01 * i) for i in range(4)]
+        cluster_b = [(0.9 + 0.01 * i, 0.9) for i in range(4)]
+        entries = _entries(cluster_a + cluster_b)
+        a, b = _quadratic_split(entries, _rect_of, min_fill=2)
+        groups = ({e.oid for e in a}, {e.oid for e in b})
+        assert {0, 1, 2, 3} in groups
+        assert {4, 5, 6, 7} in groups
+
+    def test_two_entries(self):
+        entries = _entries([(0.0, 0.0), (1.0, 1.0)])
+        a, b = _quadratic_split(entries, _rect_of, min_fill=1)
+        assert len(a) == len(b) == 1
+
+
+class TestMinFillRule:
+    @pytest.mark.parametrize(
+        "capacity,expected",
+        [(2, 1), (3, 1), (4, 2), (5, 2), (10, 4), (100, 40)],
+    )
+    def test_guttman_m(self, capacity, expected):
+        dataset = Dataset(
+            [SpatialObject(oid=0, loc=(0.5, 0.5), doc=frozenset({1}))],
+            diagonal=1.0,
+        )
+        tree = SetRTree(dataset, capacity=capacity)
+        assert tree.min_fill == expected
+
+    def test_min_fill_at_most_half_capacity(self):
+        dataset = Dataset(
+            [SpatialObject(oid=0, loc=(0.5, 0.5), doc=frozenset({1}))],
+            diagonal=1.0,
+        )
+        for capacity in range(2, 30):
+            tree = SetRTree(dataset, capacity=capacity)
+            assert 1 <= tree.min_fill <= capacity // 2

@@ -1,0 +1,43 @@
+"""Supplementary geometry tests (corners, degenerate shapes)."""
+
+import pytest
+
+from repro.model.geometry import Rect
+
+
+class TestCorners:
+    def test_four_corners(self):
+        rect = Rect(0.0, 1.0, 2.0, 3.0)
+        corners = set(rect.corners())
+        assert corners == {(0.0, 1.0), (0.0, 3.0), (2.0, 1.0), (2.0, 3.0)}
+
+    def test_degenerate_point_corners_collapse(self):
+        rect = Rect.from_point((0.5, 0.5))
+        assert set(rect.corners()) == {(0.5, 0.5)}
+
+    def test_max_dist_equals_farthest_corner_everywhere(self):
+        rect = Rect(0.25, 0.0, 0.75, 0.5)
+        import math
+
+        for point in [(0.0, 0.0), (0.5, 0.25), (1.0, 1.0), (0.25, 0.5)]:
+            expected = max(
+                math.hypot(point[0] - cx, point[1] - cy)
+                for cx, cy in rect.corners()
+            )
+            assert rect.max_dist(point) == pytest.approx(expected)
+
+
+class TestZeroAreaSegments:
+    def test_horizontal_segment_rect(self):
+        rect = Rect(0.0, 0.5, 1.0, 0.5)
+        assert rect.area() == 0.0
+        assert rect.min_dist((0.5, 0.0)) == pytest.approx(0.5)
+        assert rect.contains_point((0.7, 0.5))
+        assert not rect.contains_point((0.7, 0.51))
+
+    def test_union_of_disjoint_points(self):
+        a = Rect.from_point((0.0, 0.0))
+        b = Rect.from_point((1.0, 2.0))
+        u = a.union(b)
+        assert u == Rect(0.0, 0.0, 1.0, 2.0)
+        assert u.contains_rect(a) and u.contains_rect(b)

@@ -1,0 +1,77 @@
+"""Unit tests for SpatialObject and Dataset."""
+
+import pytest
+
+from repro import Dataset, DatasetError, SpatialObject
+
+
+def _obj(oid, x=0.0, y=0.0, doc=(1,)):
+    return SpatialObject(oid=oid, loc=(x, y), doc=frozenset(doc))
+
+
+class TestSpatialObject:
+    def test_doc_coerced_to_frozenset(self):
+        obj = SpatialObject(oid=1, loc=(0.0, 0.0), doc=[3, 3, 4])
+        assert obj.doc == frozenset({3, 4})
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(DatasetError):
+            SpatialObject(oid=1, loc=(0.0, 0.0, 0.0), doc=frozenset())
+
+
+class TestDatasetConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset([_obj(1), _obj(1)])
+
+    def test_len_iter_contains(self):
+        ds = Dataset([_obj(1), _obj(2), _obj(5)])
+        assert len(ds) == 3
+        assert {o.oid for o in ds} == {1, 2, 5}
+        assert 5 in ds
+        assert 4 not in ds
+
+    def test_get_unknown_raises(self):
+        ds = Dataset([_obj(1)])
+        with pytest.raises(DatasetError):
+            ds.get(99)
+
+    def test_bad_diagonal_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset([_obj(1)], diagonal=0.0)
+
+
+class TestDerivedStatistics:
+    def test_doc_frequency(self):
+        ds = Dataset(
+            [
+                _obj(1, doc=(10, 11)),
+                _obj(2, doc=(10,)),
+                _obj(3, doc=(12,)),
+            ]
+        )
+        assert ds.frequency(10) == 2
+        assert ds.frequency(11) == 1
+        assert ds.frequency(999) == 0
+        assert ds.vocabulary_size == 3
+
+    def test_diagonal_computed_from_extent(self):
+        ds = Dataset([_obj(1, 0.0, 0.0), _obj(2, 3.0, 4.0)])
+        assert ds.diagonal == pytest.approx(5.0)
+
+    def test_diagonal_override(self):
+        ds = Dataset([_obj(1, 0.0, 0.0), _obj(2, 3.0, 4.0)], diagonal=10.0)
+        assert ds.diagonal == 10.0
+        assert ds.normalized_distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(0.5)
+
+    def test_normalized_distance_clamped(self):
+        ds = Dataset([_obj(1, 0.0, 0.0), _obj(2, 1.0, 0.0)], diagonal=1.0)
+        assert ds.normalized_distance((0.0, 0.0), (9.0, 0.0)) == 1.0
+
+    def test_summary_shape(self):
+        ds = Dataset([_obj(1, doc=(1, 2)), _obj(2, doc=(2,))], name="demo")
+        summary = ds.summary()
+        assert summary["name"] == "demo"
+        assert summary["total_objects"] == 2
+        assert summary["total_distinct_words"] == 2
+        assert summary["avg_doc_length"] == pytest.approx(1.5)

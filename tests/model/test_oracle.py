@@ -1,0 +1,90 @@
+"""Unit tests for the numpy brute-force oracle against the Scorer."""
+
+import numpy as np
+import pytest
+
+from repro import Oracle, Scorer, SpatialKeywordQuery
+
+
+@pytest.fixture(scope="module")
+def setup(euro_small):
+    dataset, _ = euro_small
+    return dataset, Oracle(dataset), Scorer(dataset)
+
+
+def _some_query(dataset, seed=0, k=5):
+    rng = np.random.default_rng(seed)
+    obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+    doc = frozenset(list(obj.doc)[:3]) or frozenset({0})
+    return SpatialKeywordQuery(loc=obj.loc, doc=doc, k=k, alpha=0.5)
+
+
+class TestScoresAgainstScorer:
+    def test_scores_match_scorer(self, setup):
+        dataset, oracle, scorer = setup
+        query = _some_query(dataset, seed=1)
+        scores = oracle.scores(query)
+        for i, obj in enumerate(dataset.objects[::97]):
+            expected = scorer.st(obj, query)
+            row = list(dataset.objects).index(obj)
+            assert scores[row] == pytest.approx(expected)
+
+    def test_rank_matches_scorer(self, setup):
+        dataset, oracle, scorer = setup
+        query = _some_query(dataset, seed=2)
+        for obj in dataset.objects[::211]:
+            assert oracle.rank(obj.oid, query) == scorer.rank(obj, query)
+
+    def test_rank_with_keyword_override(self, setup):
+        dataset, oracle, scorer = setup
+        query = _some_query(dataset, seed=3)
+        other = frozenset(list(query.doc)[:1])
+        obj = dataset.objects[5]
+        assert oracle.rank(obj.oid, query, other) == scorer.rank(
+            obj, query.with_keywords(other)
+        )
+
+
+class TestTopK:
+    def test_top_k_ids_match_scorer(self, setup):
+        dataset, oracle, scorer = setup
+        query = _some_query(dataset, seed=4, k=10)
+        expected = [obj.oid for _, obj in scorer.top_k(query)]
+        assert oracle.top_k_ids(query) == expected
+
+    def test_top_k_scores_descending(self, setup):
+        dataset, oracle, _ = setup
+        query = _some_query(dataset, seed=5, k=20)
+        ids = oracle.top_k_ids(query)
+        scores = oracle.scores(query)
+        row_of = {o.oid: i for i, o in enumerate(dataset.objects)}
+        values = [scores[row_of[oid]] for oid in ids]
+        assert all(values[i] >= values[i + 1] - 1e-12 for i in range(len(values) - 1))
+
+
+class TestObjectAtRank:
+    def test_returned_object_has_exact_rank(self, setup):
+        dataset, oracle, scorer = setup
+        query = _some_query(dataset, seed=6)
+        for rank in (1, 7, 26):
+            try:
+                oid = oracle.object_at_rank(query, rank)
+            except ValueError:
+                continue  # tie group straddles the rank: allowed
+            assert oracle.rank(oid, query) == rank
+
+    def test_out_of_range_rank(self, setup):
+        dataset, oracle, _ = setup
+        query = _some_query(dataset, seed=7)
+        with pytest.raises(ValueError):
+            oracle.object_at_rank(query, 0)
+        with pytest.raises(ValueError):
+            oracle.object_at_rank(query, len(dataset) + 1)
+
+    def test_rank_of_set_max_semantics(self, setup):
+        dataset, oracle, _ = setup
+        query = _some_query(dataset, seed=8)
+        oids = [dataset.objects[10].oid, dataset.objects[20].oid]
+        assert oracle.rank_of_set(oids, query) == max(
+            oracle.rank(o, query) for o in oids
+        )

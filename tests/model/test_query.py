@@ -1,0 +1,73 @@
+"""Unit tests for query types."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    InvalidQueryError,
+    SpatialKeywordQuery,
+    WhyNotQuestion,
+)
+
+
+class TestSpatialKeywordQuery:
+    def test_valid_query(self):
+        q = SpatialKeywordQuery(loc=(0.1, 0.2), doc=frozenset({1, 2}), k=5, alpha=0.3)
+        assert q.k == 5
+        assert q.alpha == 0.3
+        assert q.doc == frozenset({1, 2})
+
+    def test_doc_coerced(self):
+        q = SpatialKeywordQuery(loc=(0.0, 0.0), doc=[1, 1, 2], k=1)
+        assert q.doc == frozenset({1, 2})
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_nonpositive_k_rejected(self, k):
+        with pytest.raises(InvalidQueryError):
+            SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=k)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_alpha_open_interval(self, alpha):
+        with pytest.raises(InvalidQueryError):
+            SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=1, alpha=alpha)
+
+    def test_non_int_keywords_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({"hotel"}), k=1)
+
+    def test_with_keywords_preserves_rest(self):
+        q = SpatialKeywordQuery(loc=(0.1, 0.2), doc=frozenset({1}), k=7, alpha=0.4)
+        q2 = q.with_keywords({2, 3})
+        assert q2.doc == frozenset({2, 3})
+        assert (q2.loc, q2.k, q2.alpha) == (q.loc, q.k, q.alpha)
+
+    def test_with_k(self):
+        q = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=1)
+        assert q.with_k(9).k == 9
+
+    def test_frozen(self):
+        q = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=1)
+        with pytest.raises(AttributeError):
+            q.k = 3
+
+
+class TestWhyNotQuestion:
+    def _query(self):
+        return SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({1}), k=1)
+
+    def test_missing_deduplicated_in_order(self):
+        question = WhyNotQuestion(self._query(), (5, 3, 5, 3))
+        assert question.missing == (5, 3)
+
+    def test_empty_missing_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            WhyNotQuestion(self._query(), ())
+
+    @pytest.mark.parametrize("lam", [-0.01, 1.01])
+    def test_lambda_out_of_range(self, lam):
+        with pytest.raises(InvalidParameterError):
+            WhyNotQuestion(self._query(), (1,), lam=lam)
+
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    def test_lambda_endpoints_allowed(self, lam):
+        assert WhyNotQuestion(self._query(), (1,), lam=lam).lam == lam

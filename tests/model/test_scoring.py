@@ -1,0 +1,102 @@
+"""Unit tests for the Scorer (Eqns 1-3 reference semantics)."""
+
+import pytest
+
+from repro import Scorer, SpatialKeywordQuery
+from repro.model.similarity import DICE
+
+
+class TestFig1Scores:
+    """The complete score table of the paper's Fig 1(b)."""
+
+    @pytest.fixture()
+    def setup(self, micro):
+        dataset, vocab = micro
+        scorer = Scorer(dataset)
+        t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+        query = SpatialKeywordQuery(
+            loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=1, alpha=0.5
+        )
+        return dataset, scorer, query
+
+    def test_spatial_scores(self, setup):
+        dataset, scorer, query = setup
+        expected = {0: 0.5, 1: 0.8, 2: 0.1, 3: 0.6}  # SDist (1 - col of Fig 1b)
+        for oid, sdist in expected.items():
+            assert scorer.sdist(dataset.get(oid), query) == pytest.approx(sdist)
+
+    def test_st_scores(self, setup):
+        dataset, scorer, query = setup
+        expected = {0: 0.58333, 1: 0.35, 2: 0.61667, 3: 0.7}
+        for oid, st in expected.items():
+            assert scorer.st(dataset.get(oid), query) == pytest.approx(st, abs=1e-4)
+
+    def test_missing_object_rank_is_3(self, setup):
+        dataset, scorer, query = setup
+        assert scorer.rank(dataset.get(0), query) == 3
+
+    def test_top_k(self, setup):
+        dataset, scorer, query = setup
+        top2 = scorer.top_k(query, k=2)
+        assert [obj.oid for _, obj in top2] == [3, 2]
+
+    def test_dominators(self, setup):
+        dataset, scorer, query = setup
+        dominators = scorer.dominators(dataset.get(0), query)
+        assert {o.oid for o in dominators} == {2, 3}
+
+
+class TestRankSemantics:
+    def test_ties_do_not_dominate(self, micro):
+        dataset, vocab = micro
+        scorer = Scorer(dataset)
+        t1 = vocab.id_of("t1")
+        # With keywords {t1} every object has TSim in {1, 1/2, 1/3};
+        # build a query where at least the top object is unique.
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({t1}), k=1)
+        for obj in dataset:
+            rank = scorer.rank(obj, query)
+            strictly_better = sum(
+                1 for o in dataset if scorer.st(o, query) > scorer.st(obj, query)
+            )
+            assert rank == strictly_better + 1
+
+    def test_rank_of_set_is_max(self, micro):
+        dataset, vocab = micro
+        scorer = Scorer(dataset)
+        t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=1)
+        objs = [dataset.get(0), dataset.get(2)]
+        assert scorer.rank_of_set(objs, query) == max(
+            scorer.rank(o, query) for o in objs
+        )
+
+    def test_rank_of_empty_set_rejected(self, micro):
+        dataset, _ = micro
+        scorer = Scorer(dataset)
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({0}), k=1)
+        with pytest.raises(ValueError):
+            scorer.rank_of_set([], query)
+
+
+class TestAlternativeModels:
+    def test_dice_model_changes_scores(self, micro):
+        dataset, vocab = micro
+        t1, t2 = vocab.id_of("t1"), vocab.id_of("t2")
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({t1, t2}), k=1)
+        jac = Scorer(dataset)
+        dice = Scorer(dataset, model=DICE)
+        m = dataset.get(0)
+        assert dice.tsim(m, query.doc) == pytest.approx(4 / 5)
+        assert jac.tsim(m, query.doc) == pytest.approx(2 / 3)
+        assert dice.st(m, query) > jac.st(m, query)
+
+    def test_st_with_keywords_override(self, micro):
+        dataset, vocab = micro
+        scorer = Scorer(dataset)
+        t1, t3 = vocab.id_of("t1"), vocab.id_of("t3")
+        query = SpatialKeywordQuery(loc=(0.0, 0.0), doc=frozenset({t1}), k=1)
+        m = dataset.get(0)
+        override = scorer.st_with_keywords(m, query, frozenset({t1, t3}))
+        direct = scorer.st(m, query.with_keywords({t1, t3}))
+        assert override == pytest.approx(direct)

@@ -1,0 +1,100 @@
+"""Unit tests for the similarity models and their node bounds."""
+
+import math
+
+import pytest
+
+from repro.model.similarity import COSINE, DICE, JACCARD, get_model
+
+A = frozenset({1, 2, 3})
+B = frozenset({2, 3, 4, 5})
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert JACCARD.similarity(A, A) == 1.0
+
+    def test_disjoint_sets(self):
+        assert JACCARD.similarity(A, frozenset({9})) == 0.0
+
+    def test_partial_overlap(self):
+        # |{2,3}| / |{1,2,3,4,5}| = 2/5
+        assert JACCARD.similarity(A, B) == pytest.approx(0.4)
+
+    def test_empty_both(self):
+        assert JACCARD.similarity(frozenset(), frozenset()) == 0.0
+
+    def test_empty_query(self):
+        assert JACCARD.similarity(A, frozenset()) == 0.0
+
+    def test_paper_fig1_values(self):
+        """The TSim column of Fig 1(b)."""
+        q = frozenset({1, 2})
+        assert JACCARD.similarity(frozenset({1, 2, 3}), q) == pytest.approx(2 / 3)
+        assert JACCARD.similarity(frozenset({1}), q) == pytest.approx(0.5)
+        assert JACCARD.similarity(frozenset({1, 3}), q) == pytest.approx(1 / 3)
+        assert JACCARD.similarity(frozenset({1, 2}), q) == 1.0
+
+
+class TestDice:
+    def test_identical(self):
+        assert DICE.similarity(A, A) == 1.0
+
+    def test_partial(self):
+        # 2*2 / (3+4)
+        assert DICE.similarity(A, B) == pytest.approx(4 / 7)
+
+    def test_empty(self):
+        assert DICE.similarity(frozenset(), frozenset()) == 0.0
+
+
+class TestCosine:
+    def test_identical(self):
+        assert COSINE.similarity(A, A) == pytest.approx(1.0)
+
+    def test_partial(self):
+        assert COSINE.similarity(A, B) == pytest.approx(2 / math.sqrt(12))
+
+    def test_empty(self):
+        assert COSINE.similarity(A, frozenset()) == 0.0
+
+
+class TestNodeUpperBounds:
+    """Theorem 1-style admissibility: the node bound must dominate the
+    similarity of every document between intersection and union."""
+
+    @pytest.mark.parametrize("model", [JACCARD, DICE, COSINE])
+    def test_bound_admissible_enumerated(self, model):
+        union = frozenset({1, 2, 3, 4})
+        intersection = frozenset({1})
+        query = frozenset({2, 3, 9})
+        # every doc with intersection ⊆ doc ⊆ union
+        import itertools
+
+        optional = sorted(union - intersection)
+        for r in range(len(optional) + 1):
+            for extra in itertools.combinations(optional, r):
+                doc = intersection | frozenset(extra)
+                bound = model.node_upper_bound(union, intersection, query)
+                assert model.similarity(doc, query) <= bound + 1e-12
+
+    def test_jaccard_bound_exact_formula(self):
+        union = frozenset({1, 2, 3})
+        intersection = frozenset({1, 2})
+        query = frozenset({2, 3, 4})
+        # |N∪ ∩ q| / |N∩ ∪ q| = 2 / 4
+        assert JACCARD.node_upper_bound(union, intersection, query) == pytest.approx(0.5)
+
+    def test_zero_overlap_bound_is_zero(self):
+        assert JACCARD.node_upper_bound(A, frozenset(), frozenset({99})) == 0.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_model("jaccard") is JACCARD
+        assert get_model("dice") is DICE
+        assert get_model("cosine") is COSINE
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_model("bm25")

@@ -1,0 +1,107 @@
+"""Property-based end-to-end test: on random micro instances, all
+three exact algorithms return the brute-force-optimal penalty."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdvancedAlgorithm,
+    BasicAlgorithm,
+    Dataset,
+    KcRAlgorithm,
+    KcRTree,
+    MissingObjectError,
+    Oracle,
+    PenaltyModel,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    WhyNotQuestion,
+)
+from repro.core.candidates import CandidateEnumerator
+
+
+@st.composite
+def whynot_instances(draw):
+    n = draw(st.integers(min_value=4, max_value=14))
+    objects = []
+    for i in range(n):
+        x = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        y = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        doc = draw(st.frozensets(st.integers(0, 5), min_size=1, max_size=3))
+        objects.append(SpatialObject(oid=i, loc=(x, y), doc=doc))
+    dataset = Dataset(objects, diagonal=2.0**0.5)
+    qdoc = draw(st.frozensets(st.integers(0, 5), min_size=1, max_size=3))
+    alpha = draw(st.floats(min_value=0.1, max_value=0.9, allow_nan=False))
+    lam = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    k = draw(st.integers(min_value=1, max_value=max(1, n // 3)))
+    qx = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    qy = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    query = SpatialKeywordQuery(loc=(qx, qy), doc=qdoc, k=k, alpha=alpha)
+    missing = draw(st.integers(min_value=0, max_value=n - 1))
+    return dataset, WhyNotQuestion(query, (missing,), lam=lam)
+
+
+def _brute_optimum(dataset, question):
+    oracle = Oracle(dataset)
+    query = question.query
+    initial_rank = oracle.rank_of_set(question.missing, query)
+    if initial_rank <= query.k:
+        return None
+    missing_doc = frozenset().union(
+        *(dataset.get(m).doc for m in question.missing)
+    )
+    pm = PenaltyModel(
+        k0=query.k,
+        initial_rank=initial_rank,
+        doc_universe_size=len(query.doc | missing_doc),
+        lam=question.lam,
+    )
+    best = pm.basic_penalty
+    enumerator = CandidateEnumerator(query.doc, missing_doc)
+    for candidate in enumerator.iter_naive():
+        rank = oracle.rank_of_set(question.missing, query, candidate.keywords)
+        best = min(best, pm.penalty(candidate.delta_doc, rank))
+    return best
+
+
+class TestEndToEndOptimality:
+    @given(whynot_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms_optimal(self, instance):
+        dataset, question = instance
+        expected = _brute_optimum(dataset, question)
+        if expected is None:
+            # the drawn object is not actually missing: the algorithms
+            # must refuse, matching the validation contract
+            setr = SetRTree(dataset, capacity=4)
+            with pytest.raises(MissingObjectError):
+                BasicAlgorithm(setr).answer(question)
+            return
+        setr = SetRTree(dataset, capacity=4)
+        kcr = KcRTree(dataset, capacity=4)
+        for algorithm in (
+            BasicAlgorithm(setr),
+            AdvancedAlgorithm(setr),
+            KcRAlgorithm(kcr),
+        ):
+            answer = algorithm.answer(question)
+            assert answer.refined.penalty == pytest.approx(expected), (
+                algorithm.name,
+                question,
+            )
+
+    @given(whynot_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_refined_query_revives(self, instance):
+        dataset, question = instance
+        expected = _brute_optimum(dataset, question)
+        if expected is None:
+            return
+        kcr = KcRTree(dataset, capacity=4)
+        answer = KcRAlgorithm(kcr).answer(question)
+        oracle = Oracle(dataset)
+        refined = answer.refined.as_query(question.query)
+        rank = oracle.rank_of_set(question.missing, refined, refined.doc)
+        assert rank <= refined.k

@@ -1,0 +1,106 @@
+"""Property-based soundness tests for MaxDom / MinDom.
+
+The strongest invariant in the paper's Section V: for *any* world
+(assignment of keywords to objects) consistent with a node's
+keyword-count map, the true dominator count under a threshold pair
+lies between MinDom and MaxDom.  Hypothesis draws the world first and
+derives the count map from it, so consistency is by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    NodeTextStats,
+    max_dom,
+    max_dom_scan,
+    min_dom,
+    min_dom_scan,
+)
+
+
+def _jaccard(a, b):
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+@st.composite
+def worlds(draw):
+    n_objects = draw(st.integers(min_value=1, max_value=7))
+    docs = [
+        draw(st.frozensets(st.integers(0, 8), max_size=5))
+        for _ in range(n_objects)
+    ]
+    keywords = draw(st.frozensets(st.integers(0, 8), min_size=1, max_size=4))
+    threshold = draw(
+        st.floats(min_value=-0.2, max_value=1.2, allow_nan=False)
+    )
+    return docs, keywords, threshold
+
+
+def _stats_of(docs):
+    kcm = {}
+    for doc in docs:
+        for term in doc:
+            kcm[term] = kcm.get(term, 0) + 1
+    return NodeTextStats(len(docs), kcm)
+
+
+class TestBoundsSoundness:
+    @given(worlds())
+    @settings(max_examples=500)
+    def test_max_dom_upper_bounds_truth(self, world):
+        docs, keywords, threshold = world
+        stats = _stats_of(docs)
+        # Theorem 2 semantics: an object *can* dominate only if
+        # TSim > L, so the true count of potential dominators is the
+        # number of objects with TSim > L in this world.
+        truth = sum(1 for d in docs if _jaccard(d, keywords) > threshold)
+        assert max_dom(stats, keywords, threshold) >= truth
+
+    @given(worlds())
+    @settings(max_examples=500)
+    def test_min_dom_lower_bounds_truth(self, world):
+        docs, keywords, threshold = world
+        stats = _stats_of(docs)
+        # Dual semantics: objects with TSim > U surely dominate; the
+        # world's count of sure dominators must be >= MinDom.
+        truth = sum(1 for d in docs if _jaccard(d, keywords) > threshold)
+        assert min_dom(stats, keywords, threshold) <= truth
+
+    @given(worlds())
+    @settings(max_examples=300)
+    def test_min_never_exceeds_max(self, world):
+        docs, keywords, threshold = world
+        stats = _stats_of(docs)
+        assert min_dom(stats, keywords, threshold) <= max_dom(
+            stats, keywords, threshold
+        )
+
+    @given(worlds())
+    @settings(max_examples=500)
+    def test_fast_search_matches_literal_scan(self, world):
+        """The ternary/binary-search implementation must return exactly
+        what the paper's literal downward scan returns (the concavity
+        argument in bounds.py is what this test exercises)."""
+        docs, keywords, threshold = world
+        stats = _stats_of(docs)
+        assert max_dom(stats, keywords, threshold) == max_dom_scan(
+            stats, keywords, threshold
+        )
+        assert min_dom(stats, keywords, threshold) == min_dom_scan(
+            stats, keywords, threshold
+        )
+
+    @given(worlds())
+    @settings(max_examples=300)
+    def test_bounds_within_cnt(self, world):
+        docs, keywords, threshold = world
+        stats = _stats_of(docs)
+        for bound in (
+            max_dom(stats, keywords, threshold),
+            min_dom(stats, keywords, threshold),
+        ):
+            assert 0 <= bound <= len(docs)

@@ -1,0 +1,114 @@
+"""Property-based tests for candidate enumeration."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CandidateEnumerator, Dataset, ParticularityIndex, SpatialObject
+
+
+@st.composite
+def universes(draw):
+    doc0 = draw(st.frozensets(st.integers(0, 9), min_size=1, max_size=4))
+    missing_doc = draw(st.frozensets(st.integers(0, 9), min_size=1, max_size=5))
+    return doc0, missing_doc
+
+
+def _reference_space(doc0, missing_doc):
+    """All legal refined keyword sets by brute-force subset algebra."""
+    addable = sorted(missing_doc - doc0)
+    removable = sorted(doc0)
+    seen = set()
+    for add_r in range(len(addable) + 1):
+        for added in itertools.combinations(addable, add_r):
+            for del_r in range(len(removable) + 1):
+                for removed in itertools.combinations(removable, del_r):
+                    if not added and not removed:
+                        continue
+                    keywords = (doc0 - frozenset(removed)) | frozenset(added)
+                    if keywords:
+                        seen.add((frozenset(added), frozenset(removed)))
+    return seen
+
+
+class TestEnumerationProperties:
+    @given(universes())
+    @settings(max_examples=150)
+    def test_naive_matches_reference(self, universe):
+        doc0, missing_doc = universe
+        enumerator = CandidateEnumerator(doc0, missing_doc)
+        got = {(c.added, c.removed) for c in enumerator.iter_naive()}
+        assert got == _reference_space(doc0, missing_doc)
+
+    @given(universes())
+    @settings(max_examples=150)
+    def test_total_candidates_formula(self, universe):
+        doc0, missing_doc = universe
+        enumerator = CandidateEnumerator(doc0, missing_doc)
+        assert enumerator.total_candidates() == len(
+            _reference_space(doc0, missing_doc)
+        )
+
+    @given(universes())
+    @settings(max_examples=100)
+    def test_delta_doc_consistency(self, universe):
+        doc0, missing_doc = universe
+        enumerator = CandidateEnumerator(doc0, missing_doc)
+        for candidate in enumerator.iter_naive():
+            assert candidate.delta_doc == len(candidate.added) + len(
+                candidate.removed
+            )
+            # edit distance really transforms doc0 into keywords
+            assert candidate.keywords == (doc0 - candidate.removed) | candidate.added
+            assert candidate.added.isdisjoint(doc0)
+            assert candidate.removed <= doc0
+
+    @given(universes())
+    @settings(max_examples=75)
+    def test_distance_batches_partition_paper_order(self, universe):
+        doc0, missing_doc = universe
+        enumerator = CandidateEnumerator(doc0, missing_doc)
+        batched = [
+            (c.added, c.removed)
+            for d in range(1, enumerator.edit_universe + 1)
+            for c in enumerator.at_distance(d, with_gain=False)
+        ]
+        # frozensets have no total order, so compare as sets + counts
+        assert set(batched) == {
+            (c.added, c.removed) for c in enumerator.iter_naive()
+        }
+        assert len(batched) == len(set(batched))
+
+
+@st.composite
+def universes_with_particularity(draw):
+    doc0, missing_doc = draw(universes())
+    n_objects = draw(st.integers(min_value=2, max_value=8))
+    objects = [
+        SpatialObject(
+            oid=0, loc=(0.0, 0.0), doc=missing_doc or frozenset({0})
+        )
+    ]
+    for i in range(1, n_objects):
+        doc = draw(st.frozensets(st.integers(0, 9), min_size=1, max_size=4))
+        objects.append(SpatialObject(oid=i, loc=(i / 10.0, 0.0), doc=doc))
+    dataset = Dataset(objects)
+    particularity = ParticularityIndex(dataset, [dataset.get(0)])
+    return CandidateEnumerator(doc0, missing_doc, particularity=particularity)
+
+
+class TestTopByGainProperties:
+    @given(universes_with_particularity(), st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_top_t_matches_exhaustive(self, enumerator, t):
+        total = enumerator.total_candidates()
+        sample = enumerator.top_by_gain(t)
+        assert len(sample) == min(t, total)
+        assert len({c.keywords for c in sample}) == len(sample)
+        exhaustive = sorted(
+            (c for c in enumerator.iter_paper_order()), key=lambda c: -c.gain
+        )
+        got = sorted(round(c.gain, 9) for c in sample)
+        want = sorted(round(c.gain, 9) for c in exhaustive[: len(sample)])
+        assert got == want

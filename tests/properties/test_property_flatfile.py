@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for the flat-file format."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, SpatialObject, Vocabulary, load_flatfile, save_flatfile
+
+_WORD = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def datasets_with_vocab(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    vocabulary = Vocabulary()
+    objects = []
+    for i in range(n):
+        x = draw(
+            st.floats(
+                min_value=-180.0, max_value=180.0, allow_nan=False, width=32
+            )
+        )
+        y = draw(
+            st.floats(min_value=-90.0, max_value=90.0, allow_nan=False, width=32)
+        )
+        words = draw(st.frozensets(_WORD, min_size=1, max_size=4))
+        objects.append(
+            SpatialObject(
+                oid=i, loc=(float(x), float(y)), doc=vocabulary.encode(words)
+            )
+        )
+    return Dataset(objects, diagonal=1.0, name="prop"), vocabulary
+
+
+class TestFlatfileRoundTrip:
+    @given(pair=datasets_with_vocab())
+    @settings(max_examples=60, deadline=None)
+    def test_documents_survive(self, pair, tmp_path_factory):
+        dataset, vocabulary = pair
+        path = tmp_path_factory.mktemp("flat") / "data.txt"
+        save_flatfile(dataset, vocabulary, path)
+        loaded, loaded_vocab = load_flatfile(path, normalize=False)
+        assert len(loaded) == len(dataset)
+        for original, reloaded in zip(dataset, loaded):
+            assert original.oid == reloaded.oid
+            assert sorted(vocabulary.decode(original.doc)) == sorted(
+                loaded_vocab.decode(reloaded.doc)
+            )
+
+    @given(pair=datasets_with_vocab())
+    @settings(max_examples=40, deadline=None)
+    def test_coordinates_survive_within_format_precision(
+        self, pair, tmp_path_factory
+    ):
+        dataset, vocabulary = pair
+        path = tmp_path_factory.mktemp("flat") / "data.txt"
+        save_flatfile(dataset, vocabulary, path)
+        loaded, _ = load_flatfile(path, normalize=False)
+        for original, reloaded in zip(dataset, loaded):
+            assert original.loc[0] == pytest.approx(reloaded.loc[0], abs=1e-7)
+            assert original.loc[1] == pytest.approx(reloaded.loc[1], abs=1e-7)
+
+    @given(pair=datasets_with_vocab())
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_load_is_unit_square(self, pair, tmp_path_factory):
+        dataset, vocabulary = pair
+        path = tmp_path_factory.mktemp("flat") / "data.txt"
+        save_flatfile(dataset, vocabulary, path)
+        loaded, _ = load_flatfile(path, normalize=True)
+        for obj in loaded:
+            assert -1e-9 <= obj.loc[0] <= 1.0 + 1e-9
+            assert -1e-9 <= obj.loc[1] <= 1.0 + 1e-9

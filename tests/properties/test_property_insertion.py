@@ -1,0 +1,75 @@
+"""Property-based tests for dynamic insertion.
+
+Whatever the insertion order and split pattern, a tree grown
+incrementally must validate structurally and answer queries exactly
+like a bulk-loaded tree over the same objects.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    KcRTree,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    TopKSearcher,
+)
+
+
+@st.composite
+def insertion_scenarios(draw):
+    n_initial = draw(st.integers(min_value=1, max_value=6))
+    n_inserted = draw(st.integers(min_value=1, max_value=14))
+    objects = []
+    for i in range(n_initial + n_inserted):
+        x = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        y = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        doc = draw(st.frozensets(st.integers(0, 6), min_size=1, max_size=4))
+        objects.append(SpatialObject(oid=i, loc=(x, y), doc=doc))
+    qx = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    qy = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    qdoc = draw(st.frozensets(st.integers(0, 6), min_size=1, max_size=3))
+    k = draw(st.integers(min_value=1, max_value=n_initial + n_inserted))
+    query = SpatialKeywordQuery(loc=(qx, qy), doc=qdoc, k=k)
+    capacity = draw(st.sampled_from([2, 3, 4]))
+    return objects, n_initial, query, capacity
+
+
+class TestInsertionProperties:
+    @given(insertion_scenarios(), st.sampled_from([SetRTree, KcRTree]))
+    @settings(max_examples=60, deadline=None)
+    def test_grown_tree_equals_bulk_tree(self, scenario, tree_cls):
+        objects, n_initial, query, capacity = scenario
+        dataset = Dataset(objects[:n_initial], diagonal=2.0**0.5)
+        tree = tree_cls(dataset, capacity=capacity)
+        for obj in objects[n_initial:]:
+            dataset.add(obj)
+            tree.insert(obj)
+        tree.validate()
+
+        oracle = Oracle(dataset)
+        got = [oid for _, oid in TopKSearcher(tree).top_k(query)]
+        expected = oracle.top_k_ids(query)
+        scores = oracle.scores(query)
+        row = {o.oid: i for i, o in enumerate(dataset.objects)}
+        assert sorted(round(scores[row[i]], 10) for i in got) == sorted(
+            round(scores[row[i]], 10) for i in expected
+        )
+
+    @given(insertion_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_search_after_growth(self, scenario):
+        objects, n_initial, query, capacity = scenario
+        dataset = Dataset(objects[:n_initial], diagonal=2.0**0.5)
+        tree = SetRTree(dataset, capacity=capacity)
+        for obj in objects[n_initial:]:
+            dataset.add(obj)
+            tree.insert(obj)
+        oracle = Oracle(dataset)
+        target = objects[len(objects) // 2]
+        result = TopKSearcher(tree).rank_of_missing(query, [target])
+        assert result.rank == oracle.rank(target.oid, query)

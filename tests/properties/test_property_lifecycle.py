@@ -1,0 +1,84 @@
+"""Stateful lifecycle test: arbitrary insert/delete interleavings.
+
+A hypothesis rule-based machine grows and shrinks a SetR-tree with
+random objects, checking after every operation that the tree still
+validates, agrees with a brute-force oracle on a probe query, and
+keeps its root summary consistent with the live membership.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import (
+    Dataset,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    TopKSearcher,
+)
+
+_COORD = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_DOC = st.frozensets(st.integers(0, 5), min_size=1, max_size=3)
+
+
+class IndexLifecycleMachine(RuleBasedStateMachine):
+    @initialize(
+        x=_COORD,
+        y=_COORD,
+        doc=_DOC,
+    )
+    def setup(self, x, y, doc):
+        first = SpatialObject(oid=0, loc=(x, y), doc=doc)
+        self.dataset = Dataset([first], diagonal=2.0**0.5)
+        self.tree = SetRTree(self.dataset, capacity=3)
+        self.next_oid = 1
+
+    @rule(x=_COORD, y=_COORD, doc=_DOC)
+    def insert(self, x, y, doc):
+        obj = SpatialObject(oid=self.next_oid, loc=(x, y), doc=doc)
+        self.next_oid += 1
+        self.dataset.add(obj)
+        self.tree.insert(obj)
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if len(self.dataset) <= 1:
+            return
+        oid = data.draw(
+            st.sampled_from(sorted(o.oid for o in self.dataset.objects))
+        )
+        self.tree.delete(self.dataset.get(oid))
+        self.dataset.remove(oid)
+
+    @rule(x=_COORD, y=_COORD, doc=_DOC, k=st.integers(1, 5))
+    def probe_query(self, x, y, doc, k):
+        query = SpatialKeywordQuery(loc=(x, y), doc=doc, k=k)
+        got = [oid for _, oid in TopKSearcher(self.tree).top_k(query)]
+        oracle = Oracle(self.dataset)
+        expected = oracle.top_k_ids(query)
+        scores = oracle.scores(query)
+        row = {o.oid: i for i, o in enumerate(self.dataset.objects)}
+        assert sorted(round(scores[row[i]], 10) for i in got) == sorted(
+            round(scores[row[i]], 10) for i in expected
+        )
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.validate()
+
+    @invariant()
+    def root_summary_tracks_membership(self):
+        union, intersection = self.tree.fetch_set_pair(
+            self.tree.root_summary_record
+        )
+        docs = [o.doc for o in self.dataset.objects]
+        assert union == frozenset().union(*docs)
+        assert intersection == frozenset.intersection(*docs)
+
+
+IndexLifecycleMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestIndexLifecycle = IndexLifecycleMachine.TestCase

@@ -1,0 +1,70 @@
+"""Property-based tests for the penalty model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PenaltyModel
+
+
+@st.composite
+def penalty_models(draw):
+    k0 = draw(st.integers(min_value=1, max_value=50))
+    initial_rank = draw(st.integers(min_value=k0 + 1, max_value=k0 + 300))
+    universe = draw(st.integers(min_value=1, max_value=20))
+    lam = draw(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+    )
+    return PenaltyModel(
+        k0=k0, initial_rank=initial_rank, doc_universe_size=universe, lam=lam
+    )
+
+
+class TestPenaltyProperties:
+    @given(penalty_models(), st.integers(0, 20), st.integers(1, 400))
+    def test_non_negative(self, model, delta_doc, rank):
+        assert model.penalty(delta_doc, rank) >= 0.0
+
+    @given(penalty_models(), st.integers(0, 20), st.integers(1, 399))
+    def test_monotone_in_rank(self, model, delta_doc, rank):
+        assert model.penalty(delta_doc, rank) <= model.penalty(
+            delta_doc, rank + 1
+        ) + 1e-12
+
+    @given(penalty_models(), st.integers(0, 19), st.integers(1, 400))
+    def test_monotone_in_delta_doc(self, model, delta_doc, rank):
+        assert model.penalty(delta_doc, rank) <= model.penalty(
+            delta_doc + 1, rank
+        ) + 1e-12
+
+    @given(penalty_models())
+    def test_basic_refinement_is_lambda(self, model):
+        # λ·margin/margin rounds in floats; equality holds to one ulp.
+        assert model.penalty(0, model.initial_rank) == pytest.approx(
+            model.lam, rel=1e-12
+        )
+
+    @given(penalty_models(), st.integers(1, 400))
+    def test_refined_k_revives(self, model, rank):
+        assert model.refined_k(rank) >= rank or model.refined_k(rank) == model.k0
+        assert model.refined_k(rank) >= model.k0
+
+
+class TestMaxUsefulRankProperty:
+    @given(
+        penalty_models(),
+        st.integers(0, 20),
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=300)
+    def test_strict_improvement_boundary(self, model, delta_doc, p_c):
+        bound = model.max_useful_rank(p_c, delta_doc)
+        if bound is None:
+            assert model.keyword_penalty(delta_doc) >= p_c
+            return
+        if bound >= 10**15:
+            # Unbounded sentinel (λ=0 or degenerate tiny λ): the bound
+            # may overshoot, which only weakens pruning, never answers.
+            return
+        assert model.penalty(delta_doc, bound) < p_c
+        assert model.penalty(delta_doc, bound + 1) >= p_c

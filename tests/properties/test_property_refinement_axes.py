@@ -1,0 +1,99 @@
+"""Property-based tests for the refinement-axis extensions.
+
+On arbitrary small instances, every axis (keywords, α, location, and
+the integrated combination) must return a penalty no worse than the
+basic refinement's λ, and its refined query must actually revive the
+missing object.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AlphaRefinementAlgorithm,
+    Dataset,
+    KcRTree,
+    LocationRefinementAlgorithm,
+    MissingObjectError,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    WhyNotQuestion,
+)
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    objects = []
+    for i in range(n):
+        x = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        y = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        doc = draw(st.frozensets(st.integers(0, 4), min_size=1, max_size=3))
+        objects.append(SpatialObject(oid=i, loc=(x, y), doc=doc))
+    dataset = Dataset(objects, diagonal=2.0**0.5)
+    qdoc = draw(st.frozensets(st.integers(0, 4), min_size=1, max_size=2))
+    query = SpatialKeywordQuery(
+        loc=(
+            draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+            draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        ),
+        doc=qdoc,
+        k=draw(st.integers(min_value=1, max_value=3)),
+        alpha=draw(st.floats(min_value=0.2, max_value=0.8, allow_nan=False)),
+    )
+    missing = draw(st.integers(min_value=0, max_value=n - 1))
+    lam = draw(st.floats(min_value=0.1, max_value=0.9, allow_nan=False))
+    return dataset, WhyNotQuestion(query, (missing,), lam=lam)
+
+
+def _is_actually_missing(dataset, question):
+    oracle = Oracle(dataset)
+    return (
+        oracle.rank_of_set(question.missing, question.query)
+        > question.query.k
+    )
+
+
+class TestAxesNeverWorseThanBasic:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_axis(self, instance):
+        dataset, question = instance
+        assume(_is_actually_missing(dataset, question))
+        tree = SetRTree(dataset, capacity=4)
+        answer = AlphaRefinementAlgorithm(tree, n_samples=16).answer(question)
+        assert answer.refined.penalty <= question.lam + 1e-9
+        refined = answer.refined.as_query(question.query)
+        oracle = Oracle(dataset)
+        assert (
+            oracle.rank_of_set(question.missing, refined) <= refined.k
+        )
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_location_axis(self, instance):
+        dataset, question = instance
+        assume(_is_actually_missing(dataset, question))
+        tree = SetRTree(dataset, capacity=4)
+        answer = LocationRefinementAlgorithm(tree, n_fractions=6).answer(
+            question
+        )
+        assert answer.refined.penalty <= question.lam + 1e-9
+        loc = getattr(answer, "refined_loc", None)
+        oracle = Oracle(dataset)
+        if loc is None:
+            assert answer.refined.k == answer.initial_rank
+        else:
+            moved = SpatialKeywordQuery(
+                loc=loc,
+                doc=question.query.doc,
+                k=answer.refined.k,
+                alpha=question.query.alpha,
+            )
+            assert (
+                oracle.rank_of_set(question.missing, moved)
+                <= answer.refined.k
+            )

@@ -1,0 +1,75 @@
+"""Property-based tests for reverse keyword search."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    Oracle,
+    ReverseKeywordSearch,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+)
+
+
+@st.composite
+def reverse_instances(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    objects = []
+    for i in range(n):
+        x = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        y = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        doc = draw(st.frozensets(st.integers(0, 4), min_size=1, max_size=3))
+        objects.append(SpatialObject(oid=i, loc=(x, y), doc=doc))
+    dataset = Dataset(objects, diagonal=2.0**0.5)
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    k = draw(st.integers(min_value=1, max_value=n))
+    loc = (
+        draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+    )
+    return dataset, target, k, loc
+
+
+class TestReverseSearchProperties:
+    @given(reverse_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exactly_the_qualifying_sets(self, instance):
+        dataset, target, k, loc = instance
+        tree = SetRTree(dataset, capacity=4)
+        searcher = ReverseKeywordSearch(tree)
+        report = searcher.search(target, loc, k)
+        oracle = Oracle(dataset)
+        pool = sorted(dataset.get(target).doc)
+        expected = set()
+        for size in range(1, len(pool) + 1):
+            for subset in itertools.combinations(pool, size):
+                query = SpatialKeywordQuery(loc=loc, doc=frozenset(subset), k=k)
+                if oracle.rank(target, query) <= k:
+                    expected.add(frozenset(subset))
+        assert {m.keywords for m in report.matches} == expected
+
+    @given(reverse_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_reported_ranks_exact(self, instance):
+        dataset, target, k, loc = instance
+        tree = SetRTree(dataset, capacity=4)
+        report = ReverseKeywordSearch(tree).search(target, loc, k)
+        oracle = Oracle(dataset)
+        for match in report.matches:
+            query = SpatialKeywordQuery(loc=loc, doc=match.keywords, k=k)
+            assert oracle.rank(target, query) == match.rank
+
+    @given(reverse_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_k_equal_n_accepts_everything(self, instance):
+        dataset, target, _, loc = instance
+        k = len(dataset)  # every object is in a top-n result
+        tree = SetRTree(dataset, capacity=4)
+        report = ReverseKeywordSearch(tree).search(target, loc, k)
+        pool = dataset.get(target).doc
+        assert len(report.matches) == 2 ** len(pool) - 1

@@ -1,0 +1,76 @@
+"""Property-based tests: index searches agree with brute force on
+randomly generated micro datasets (fresh tree per example)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    TopKSearcher,
+)
+
+
+@st.composite
+def micro_worlds(draw):
+    n = draw(st.integers(min_value=2, max_value=18))
+    objects = []
+    for i in range(n):
+        x = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        y = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        doc = draw(st.frozensets(st.integers(0, 6), min_size=1, max_size=4))
+        objects.append(SpatialObject(oid=i, loc=(x, y), doc=doc))
+    dataset = Dataset(objects, diagonal=2.0**0.5)
+    qx = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    qy = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    qdoc = draw(st.frozensets(st.integers(0, 6), min_size=1, max_size=3))
+    k = draw(st.integers(min_value=1, max_value=n))
+    alpha = draw(st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+    query = SpatialKeywordQuery(loc=(qx, qy), doc=qdoc, k=k, alpha=alpha)
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    return dataset, query, target
+
+
+class TestSearchAgainstOracle:
+    @given(micro_worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_top_k_score_multiset(self, world):
+        dataset, query, _ = world
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        oracle = Oracle(dataset)
+        got = sorted(round(s, 10) for s, _ in searcher.top_k(query))
+        scores = oracle.scores(query)
+        expected = sorted(round(s, 10) for s in sorted(scores, reverse=True)[: query.k])
+        assert got == expected
+
+    @given(micro_worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_determination(self, world):
+        dataset, query, target = world
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        oracle = Oracle(dataset)
+        obj = dataset.get(target)
+        result = searcher.rank_of_missing(query, [obj])
+        assert result.rank == oracle.rank(target, query)
+
+    @given(micro_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_early_stop_never_lies(self, world):
+        """An aborted search implies the true rank exceeds the limit."""
+        dataset, query, target = world
+        tree = SetRTree(dataset, capacity=4)
+        searcher = TopKSearcher(tree)
+        oracle = Oracle(dataset)
+        obj = dataset.get(target)
+        limit = 3
+        result = searcher.rank_of_missing(query, [obj], stop_limit=limit)
+        true_rank = oracle.rank(target, query)
+        if result.aborted:
+            assert true_rank > limit
+        else:
+            assert result.rank == true_rank

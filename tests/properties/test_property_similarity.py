@@ -1,0 +1,56 @@
+"""Property-based tests for the similarity models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.similarity import COSINE, DICE, JACCARD
+
+keyword_sets = st.frozensets(st.integers(min_value=0, max_value=30), max_size=12)
+models = st.sampled_from([JACCARD, DICE, COSINE])
+
+
+class TestSimilarityAxioms:
+    @given(models, keyword_sets, keyword_sets)
+    def test_range(self, model, a, b):
+        value = model.similarity(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(models, keyword_sets, keyword_sets)
+    def test_symmetry(self, model, a, b):
+        assert model.similarity(a, b) == model.similarity(b, a)
+
+    @given(models, keyword_sets)
+    def test_self_similarity_is_one_when_nonempty(self, model, a):
+        if a:
+            assert model.similarity(a, a) == 1.0
+
+    @given(models, keyword_sets, keyword_sets)
+    def test_disjoint_is_zero(self, model, a, b):
+        if not (a & b):
+            assert model.similarity(a, b) == 0.0
+
+    @given(keyword_sets, keyword_sets)
+    def test_jaccard_below_dice(self, a, b):
+        """Jaccard <= Dice always (denominator relationship)."""
+        assert JACCARD.similarity(a, b) <= DICE.similarity(a, b) + 1e-12
+
+
+class TestNodeBoundProperty:
+    @given(
+        models,
+        st.frozensets(st.integers(0, 15), min_size=1, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=200)
+    def test_bound_admissible_for_sampled_docs(self, model, union, data):
+        intersection = data.draw(
+            st.frozensets(st.sampled_from(sorted(union)), max_size=len(union))
+        )
+        query = data.draw(keyword_sets)
+        optional = sorted(union - intersection)
+        doc_extras = data.draw(
+            st.frozensets(st.sampled_from(optional), max_size=len(optional))
+        ) if optional else frozenset()
+        doc = intersection | doc_extras
+        bound = model.node_upper_bound(union, intersection, query)
+        assert model.similarity(doc, query) <= bound + 1e-9

@@ -1,0 +1,126 @@
+"""Stateful property tests for the storage substrate.
+
+A hypothesis rule-based machine drives an arbitrary interleaving of
+allocations, fetches, invalidations and clears against a buffer pool,
+checking after every step that (a) payloads are never corrupted,
+(b) the page accounting never exceeds capacity, and (c) the hit/miss
+accounting matches a shadow model of perfect LRU.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import BufferPool, Pager
+from repro.storage.packing import PackedWriter, fetch_slot
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    CAPACITY_PAGES = 4
+    PAGE = 4096
+
+    @initialize()
+    def setup(self) -> None:
+        self.pager = Pager(page_size=self.PAGE)
+        self.pool = BufferPool(
+            self.pager, capacity_bytes=self.CAPACITY_PAGES * self.PAGE
+        )
+        self.expected = {}  # record id -> payload
+        self.shadow_lru = []  # record ids, least recent first
+        self.shadow_pages = {}  # record id -> span
+
+    @rule(payload=st.integers(), pages=st.integers(min_value=1, max_value=3))
+    def allocate(self, payload, pages):
+        record = self.pager.allocate(payload, pages * self.PAGE)
+        self.expected[record] = payload
+
+    @rule(data=st.data())
+    def fetch(self, data):
+        if not self.expected:
+            return
+        record = data.draw(st.sampled_from(sorted(self.expected)))
+        hits_before = self.pager.stats.buffer_hits
+        reads_before = self.pager.stats.page_reads
+        value = self.pool.fetch(record)
+        assert value == self.expected[record], "payload corrupted"
+
+        was_cached = record in self.shadow_lru
+        if was_cached:
+            assert self.pager.stats.buffer_hits == hits_before + 1
+            assert self.pager.stats.page_reads == reads_before
+            self.shadow_lru.remove(record)
+            self.shadow_lru.append(record)
+        else:
+            span = self.pager.span(record)
+            assert self.pager.stats.page_reads == reads_before + span
+            if span <= self.CAPACITY_PAGES:
+                self.shadow_pages[record] = span
+                self.shadow_lru.append(record)
+                used = sum(self.shadow_pages[r] for r in self.shadow_lru)
+                while used > self.CAPACITY_PAGES:
+                    evicted = self.shadow_lru.pop(0)
+                    used -= self.shadow_pages.pop(evicted)
+
+    @rule(data=st.data())
+    def invalidate(self, data):
+        if not self.shadow_lru:
+            return
+        record = data.draw(st.sampled_from(self.shadow_lru))
+        self.pool.invalidate(record)
+        self.shadow_lru.remove(record)
+        self.shadow_pages.pop(record, None)
+
+    @rule()
+    def clear(self):
+        self.pool.clear()
+        self.shadow_lru.clear()
+        self.shadow_pages.clear()
+
+    @invariant()
+    def accounting_consistent(self):
+        assert self.pool.used_pages <= self.CAPACITY_PAGES
+        expected_used = sum(self.shadow_pages.get(r, 0) for r in self.shadow_lru)
+        assert self.pool.used_pages == expected_used
+        for record in self.shadow_lru:
+            assert record in self.pool
+
+
+BufferPoolMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+
+
+class TestPackedRoundTripProperty:
+    """Packed slots must round-trip arbitrary payload sequences."""
+
+    from hypothesis import given
+
+    @given(
+        payloads=st.lists(
+            st.tuples(
+                st.integers(), st.integers(min_value=1, max_value=4096)
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        flush_every=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, payloads, flush_every):
+        pager = Pager()
+        pool = BufferPool(pager, capacity_bytes=64 * 4096)
+        writer = PackedWriter(pager)
+        indexes = []
+        for i, (value, nbytes) in enumerate(payloads):
+            indexes.append(writer.add(value, nbytes))
+            if (i + 1) % flush_every == 0:
+                writer.flush()
+        writer.flush()
+        for index, (value, _) in zip(indexes, payloads):
+            assert fetch_slot(pool, writer.ref(index)) == value

@@ -1,0 +1,55 @@
+"""Unit tests for the byte-size model and I/O statistics."""
+
+from repro.storage.layout import (
+    ENTRY_BYTES,
+    NODE_HEADER_BYTES,
+    keyword_count_map_bytes,
+    keyword_set_bytes,
+    node_bytes,
+    set_pair_bytes,
+)
+from repro.storage.stats import IOSnapshot, IOStatistics
+
+
+class TestLayout:
+    def test_node_bytes_formula(self):
+        assert node_bytes(100) == NODE_HEADER_BYTES + 100 * ENTRY_BYTES
+
+    def test_full_node_spans_two_4k_pages(self):
+        # capacity-100 nodes (the paper's setting) need two 4 KB pages
+        assert 4096 < node_bytes(100) <= 2 * 4096
+
+    def test_keyword_set_bytes_minimum(self):
+        assert keyword_set_bytes(0) == 4
+        assert keyword_set_bytes(10) == 40
+
+    def test_set_pair_is_sum(self):
+        assert set_pair_bytes(10, 3) == keyword_set_bytes(10) + keyword_set_bytes(3)
+
+    def test_kcm_bytes(self):
+        assert keyword_count_map_bytes(0) == 8 + 8
+        assert keyword_count_map_bytes(5) == 8 + 40
+
+
+class TestIOStatistics:
+    def test_snapshot_subtraction(self):
+        stats = IOStatistics()
+        stats.page_reads = 10
+        stats.page_writes = 2
+        before = stats.snapshot()
+        stats.page_reads = 25
+        stats.buffer_hits = 7
+        delta = stats.snapshot() - before
+        assert delta.page_reads == 15
+        assert delta.page_writes == 0
+        assert delta.buffer_hits == 7
+        assert delta.total_ios == 15
+
+    def test_reset(self):
+        stats = IOStatistics(page_reads=5, page_writes=4, buffer_hits=3, node_fetches=2)
+        stats.reset()
+        assert stats.snapshot() == IOSnapshot(0, 0, 0, 0)
+
+    def test_total_ios(self):
+        stats = IOStatistics(page_reads=5, page_writes=4)
+        assert stats.total_ios == 9

@@ -1,0 +1,75 @@
+"""Unit tests for slotted-page packing."""
+
+import pytest
+
+from repro import BufferPool, Pager, StorageError
+from repro.storage.packing import PackedWriter, SlotRef, fetch_slot
+
+
+def _setup():
+    pager = Pager(page_size=4096)
+    pool = BufferPool(pager, capacity_bytes=16 * 4096)
+    writer = PackedWriter(pager)
+    return pager, pool, writer
+
+
+class TestPacking:
+    def test_small_records_share_a_page(self):
+        pager, pool, writer = _setup()
+        indexes = [writer.add(f"payload-{i}", 100) for i in range(10)]
+        writer.flush()
+        refs = [writer.ref(i) for i in indexes]
+        assert len({ref.record for ref in refs}) == 1  # one shared page
+        assert [fetch_slot(pool, ref) for ref in refs] == [
+            f"payload-{i}" for i in range(10)
+        ]
+
+    def test_page_overflow_starts_new_page(self):
+        pager, pool, writer = _setup()
+        first = writer.add("a", 3000)
+        second = writer.add("b", 3000)  # 6000 > 4096: new page
+        writer.flush()
+        assert writer.ref(first).record != writer.ref(second).record
+
+    def test_flush_seals_page_boundary(self):
+        pager, pool, writer = _setup()
+        a = writer.add("a", 100)
+        writer.flush()
+        b = writer.add("b", 100)
+        writer.flush()
+        assert writer.ref(a).record != writer.ref(b).record
+
+    def test_shared_page_costs_one_read_for_all_slots(self):
+        pager, pool, writer = _setup()
+        indexes = [writer.add(i, 50) for i in range(20)]
+        writer.flush()
+        before = pager.stats.page_reads
+        for i in indexes:
+            fetch_slot(pool, writer.ref(i))
+        assert pager.stats.page_reads - before == 1  # one miss, rest hits
+
+
+class TestErrors:
+    def test_ref_before_flush(self):
+        _, _, writer = _setup()
+        index = writer.add("x", 10)
+        with pytest.raises(StorageError):
+            writer.ref(index)
+
+    def test_record_larger_than_page_rejected(self):
+        _, _, writer = _setup()
+        with pytest.raises(StorageError):
+            writer.add("big", 5000)
+
+    def test_negative_size_rejected(self):
+        _, _, writer = _setup()
+        with pytest.raises(StorageError):
+            writer.add("x", -1)
+
+    def test_bad_slot(self):
+        pager, pool, writer = _setup()
+        index = writer.add("x", 10)
+        writer.flush()
+        ref = writer.ref(index)
+        with pytest.raises(StorageError):
+            fetch_slot(pool, SlotRef(record=ref.record, slot=99))

@@ -1,0 +1,94 @@
+"""Unit tests for the simulated pager."""
+
+import pytest
+
+from repro import Pager, StorageError
+from repro.storage.stats import IOStatistics
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self):
+        pager = Pager()
+        ids = [pager.allocate(i, 100) for i in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_span_rounds_up(self):
+        pager = Pager(page_size=4096)
+        small = pager.allocate("x", 10)
+        exact = pager.allocate("y", 4096)
+        big = pager.allocate("z", 4097)
+        assert pager.span(small) == 1
+        assert pager.span(exact) == 1
+        assert pager.span(big) == 2
+
+    def test_zero_byte_record_spans_one_page(self):
+        pager = Pager()
+        assert pager.span(pager.allocate(None, 0)) == 1
+
+    def test_negative_size_rejected(self):
+        pager = Pager()
+        with pytest.raises(StorageError):
+            pager.allocate("x", -1)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=0)
+
+
+class TestAccessAccounting:
+    def test_read_charges_span(self):
+        stats = IOStatistics()
+        pager = Pager(stats=stats)
+        rid = pager.allocate("payload", 9000)  # 3 pages
+        before = stats.page_reads
+        assert pager.read(rid) == "payload"
+        assert stats.page_reads - before == 3
+
+    def test_write_charges_span_at_allocate(self):
+        stats = IOStatistics()
+        pager = Pager(stats=stats)
+        pager.allocate("p", 5000)  # 2 pages
+        assert stats.page_writes == 2
+
+    def test_peek_charges_nothing(self):
+        stats = IOStatistics()
+        pager = Pager(stats=stats)
+        rid = pager.allocate("p", 100)
+        snapshot = stats.snapshot()
+        assert pager.peek(rid) == "p"
+        assert stats.snapshot() - snapshot == snapshot - snapshot
+
+    def test_unknown_record(self):
+        pager = Pager()
+        with pytest.raises(StorageError):
+            pager.read(42)
+
+
+class TestUpdateFree:
+    def test_update_respans(self):
+        pager = Pager()
+        rid = pager.allocate("a", 100)
+        pager.update(rid, "b", 9000)
+        assert pager.read(rid) == "b"
+        assert pager.span(rid) == 3
+
+    def test_update_unknown(self):
+        pager = Pager()
+        with pytest.raises(StorageError):
+            pager.update(7, "x", 10)
+
+    def test_free_and_double_free(self):
+        pager = Pager()
+        rid = pager.allocate("a", 100)
+        pager.free(rid)
+        assert rid not in pager
+        with pytest.raises(StorageError):
+            pager.free(rid)
+
+    def test_totals(self):
+        pager = Pager()
+        pager.allocate("a", 100)
+        pager.allocate("b", 5000)
+        assert pager.total_pages == 3
+        assert pager.total_bytes == 5100
+        assert len(pager) == 2

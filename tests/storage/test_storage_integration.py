@@ -1,0 +1,86 @@
+"""Cross-component storage behaviour: updates, invalidation, and the
+write-accounting contract the mutation paths rely on."""
+
+import pytest
+
+from repro import BufferPool, Pager
+
+
+class TestUpdateInvalidationContract:
+    def test_updates_visible_through_cache_hits(self):
+        """The pool caches record *ids*, not payload copies, so an
+        update is visible on the very next hit — no torn reads."""
+        pager = Pager()
+        pool = BufferPool(pager, capacity_bytes=8 * 4096)
+        record = pager.allocate("v1", 100)
+        assert pool.fetch(record) == "v1"
+        pager.update(record, "v2", 100)
+        assert pool.fetch(record) == "v2"
+
+    def test_invalidate_fixes_span_accounting_after_update(self):
+        """What the mutation paths' invalidate calls actually protect:
+        a record that grows across a page boundary must not keep its
+        old 1-page frame accounting."""
+        pager = Pager()
+        pool = BufferPool(pager, capacity_bytes=8 * 4096)
+        record = pager.allocate("small", 100)
+        pool.fetch(record)
+        assert pool.used_pages == 1
+        pager.update(record, "big" * 4000, 3 * 4096)
+        pool.invalidate(record)
+        pool.fetch(record)
+        assert pool.used_pages == 3
+
+    def test_update_charges_writes(self):
+        pager = Pager()
+        record = pager.allocate("v1", 100)
+        before = pager.stats.page_writes
+        pager.update(record, "v2", 9000)  # 3 pages
+        assert pager.stats.page_writes - before == 3
+
+    def test_free_then_fetch_fails(self):
+        from repro import StorageError
+
+        pager = Pager()
+        pool = BufferPool(pager, capacity_bytes=8 * 4096)
+        record = pager.allocate("x", 100)
+        pool.fetch(record)
+        pager.free(record)
+        pool.invalidate(record)
+        with pytest.raises(StorageError):
+            pool.fetch(record)
+
+
+class TestTreeMutationAccounting:
+    def test_insert_charges_page_writes(self, euro_small):
+        """Dynamic insertion is a write path: the pager's write
+        counters must move, and reads must flow through the buffer."""
+        from repro import Dataset, SetRTree, SpatialObject, make_euro_like
+
+        full, _ = make_euro_like(200, seed=83)
+        dataset = Dataset(list(full.objects), diagonal=full.diagonal)
+        tree = SetRTree(dataset, capacity=8)
+        writes_before = tree.stats.page_writes
+        obj = SpatialObject(oid=10**6, loc=(0.4, 0.4), doc=frozenset({1, 2}))
+        dataset.add(obj)
+        tree.insert(obj)
+        assert tree.stats.page_writes > writes_before
+
+    def test_delete_frees_records_on_condense(self):
+        """Mass deletion must shrink the simulated disk footprint."""
+        from repro import Dataset, SetRTree, make_euro_like
+
+        full, _ = make_euro_like(300, seed=89)
+        dataset = Dataset(list(full.objects), diagonal=full.diagonal)
+        tree = SetRTree(dataset, capacity=4)
+        records_before = len(tree.pager)
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        victims = rng.choice(
+            [o.oid for o in dataset.objects], 250, replace=False
+        )
+        for oid in victims:
+            tree.delete(dataset.get(oid))
+            dataset.remove(int(oid))
+        assert len(tree.pager) < records_before

@@ -1,0 +1,67 @@
+"""Tests for the exception taxonomy."""
+
+import pytest
+
+from repro import (
+    DatasetError,
+    IndexStructureError,
+    InvalidParameterError,
+    InvalidQueryError,
+    MissingObjectError,
+    ReproError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DatasetError,
+            IndexStructureError,
+            InvalidParameterError,
+            InvalidQueryError,
+            MissingObjectError,
+            StorageError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_also_value_errors(self):
+        """Callers using plain ``except ValueError`` still catch input
+        validation failures — the dual inheritance contract."""
+        for exc in (
+            DatasetError,
+            InvalidParameterError,
+            InvalidQueryError,
+            MissingObjectError,
+        ):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_families(self):
+        assert issubclass(StorageError, RuntimeError)
+        assert issubclass(IndexStructureError, RuntimeError)
+
+    def test_one_base_catches_everything(self, euro_engine, euro_cases):
+        with pytest.raises(ReproError):
+            euro_engine.answer(euro_cases[0], method="not-a-method")
+
+
+class TestSurfacesAtBoundaries:
+    def test_engine_rejects_dice_for_kcr(self, euro_small):
+        """The KcR bounds are Jaccard-specific; the engine surfaces the
+        rejection instead of silently returning wrong bounds."""
+        from repro import WhyNotEngine
+
+        dataset, _ = euro_small
+        engine = WhyNotEngine(dataset, similarity="dice")
+        query_obj = dataset.objects[0]
+        from repro import SpatialKeywordQuery, WhyNotQuestion
+
+        doc = frozenset(list(query_obj.doc)[:2]) or frozenset({0})
+        question = WhyNotQuestion(
+            SpatialKeywordQuery(loc=query_obj.loc, doc=doc, k=3), (999,)
+        )
+        with pytest.raises(ValueError):
+            engine.answer(question, method="kcr")

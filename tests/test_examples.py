@@ -1,0 +1,57 @@
+"""Every example script must run to completion.
+
+The examples are the quickstart documentation; a broken example is a
+broken deliverable, so each one executes as a subprocess (slow-marked)
+and its key output lines are asserted.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_EXPECTED_SNIPPETS = {
+    "quickstart.py": ["top-1 result", "penalty=0.4167", "m=0 revived: True"],
+    "hotel_whynot.py": ["the expected hotel", "Suggested refinement"],
+    "merchant_advertising.py": [
+        "inserted into the live indexes",
+        "Reverse keyword search",
+        "finds me: True",
+    ],
+    "multi_missing_and_approximate.py": ["all revived=True", "T=800"],
+    "integrated_refinement.py": ["winner", "keyword adaption wins"],
+    "bring_your_own_data.py": ["persisted and reloaded", "why-not answer"],
+}
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamplesPresent:
+    def test_all_examples_have_expectations(self):
+        scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert scripts == set(_EXPECTED_SNIPPETS)
+
+    def test_examples_have_docstrings(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            source = path.read_text(encoding="utf-8")
+            assert '"""' in source.split("\n", 3)[1] + source, path.name
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", sorted(_EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    output = _run(script)
+    for snippet in _EXPECTED_SNIPPETS[script]:
+        assert snippet in output, f"{script} output missing {snippet!r}"
