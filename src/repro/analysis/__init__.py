@@ -1,0 +1,34 @@
+"""Correctness tooling: custom static analysis + runtime invariant sanitizer.
+
+The reproduction's guarantees rest on fragile invariants — Theorem 1's
+SetR-tree bound needs every node's union/intersection sets and MBRs
+maintained exactly, and the penalty model (Eqn 4) misbehaves silently
+on float-equality edge cases.  This package guards both sides:
+
+* :mod:`repro.analysis.lint` — an AST-based rule engine with
+  repo-specific rules (float-literal equality, bare asserts, direct
+  ``Pager`` access, mutable defaults, missing public annotations,
+  stray ``print``).  CLI: ``repro-whynot lint <paths>``.
+* :mod:`repro.analysis.sanitize` — structural walkers validating
+  R-tree/SetR-tree/KcR-tree invariants and buffer-pool accounting.
+  CLI: ``repro-whynot check-invariants``.
+"""
+
+from .lint import Finding, LintRule, Linter, lint_paths
+from .sanitize import (
+    InvariantViolation,
+    SanitizerReport,
+    check_buffer_pool,
+    check_tree,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "Linter",
+    "lint_paths",
+    "InvariantViolation",
+    "SanitizerReport",
+    "check_buffer_pool",
+    "check_tree",
+]

@@ -1,0 +1,503 @@
+"""Custom AST lint rules for the ``repro`` codebase.
+
+A small, dependency-free rule engine plus the repo-specific rules that
+guard the reproduction's correctness conventions.  Generic linters
+cannot know that ``lam == 0.0`` silently breaks the Eqn 6 early-stop
+bound, that a bare ``assert`` protecting a Theorem 1 precondition
+vanishes under ``python -O``, or that calling the :class:`Pager`
+directly bypasses the buffer pool and corrupts the paper's VII-A1 I/O
+counters — these rules do.
+
+Rules (names are what waiver comments reference):
+
+``exact-float``
+    No ``==``/``!=`` against float literals in scoring / penalty /
+    geometry / index code.  Use :mod:`repro.model.numeric` helpers
+    (``approx_eq`` / ``approx_zero``) or waive with
+    ``# lint: exact-float`` when bit-exactness is intended.
+``bare-assert``
+    No ``assert`` statements anywhere under ``repro.*`` runtime code
+    (stripped by ``python -O``); raise from :mod:`repro.errors`
+    (``ensure`` / ``ensure_not_none``) instead.
+``pager-access``
+    No direct :class:`Pager` construction or method access outside
+    :mod:`repro.storage` — all page I/O flows through
+    :class:`~repro.storage.buffer_pool.BufferPool` so hit/miss
+    accounting stays honest.
+``mutable-default``
+    No mutable default argument values (lists, dicts, sets, comprehensions,
+    ``Counter()``-style constructor calls).
+``public-annotations``
+    Public functions in ``repro.core`` / ``repro.index`` /
+    ``repro.model`` must annotate every parameter and the return type.
+``no-print``
+    No ``print()`` in library code; only :mod:`repro.cli` and
+    :mod:`repro.experiments.reporting` talk to stdout.
+
+**Waivers.**  A finding is suppressed when the offending line — or a
+comment-only line directly above it — carries ``# lint: <rule>`` (a
+comma-separated rule list, or ``# lint: *`` for all rules).  Waivers
+are deliberate, reviewable markers; the CI workflow fails on any
+unwaived finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModuleSource",
+    "Linter",
+    "DEFAULT_RULES",
+    "default_linter",
+    "lint_paths",
+]
+
+WAIVE_ALL = "*"
+_WAIVER_PREFIX = "lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleSource:
+    """A parsed module plus the metadata rules need to scope themselves."""
+
+    path: Path
+    module: Optional[str]  # dotted module, e.g. "repro.core.penalty"
+    tree: ast.Module
+    waivers: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleSource":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            module=_module_name(path),
+            tree=tree,
+            waivers=_collect_waivers(source),
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted prefixes."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def is_waived(self, rule: str, line: int) -> bool:
+        """Waived on the finding's line or a comment line directly above."""
+        for candidate in (line, line - 1):
+            waived = self.waivers.get(candidate)
+            if waived is not None and (rule in waived or WAIVE_ALL in waived):
+                return True
+        return False
+
+
+def _module_name(path: Path) -> Optional[str]:
+    """Dotted module name, anchored at the ``repro`` package directory."""
+    parts = [p for p in path.resolve().parts]
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    dotted = parts[anchor:]
+    if dotted[-1].endswith(".py"):
+        dotted[-1] = dotted[-1][:-3]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _collect_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> waived rule names from ``# lint:`` comments."""
+    waivers: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string.lstrip("#").strip()
+            if not text.startswith(_WAIVER_PREFIX):
+                continue
+            names = text[len(_WAIVER_PREFIX):].strip()
+            rules = {name.strip() for name in names.split(",") if name.strip()}
+            if rules:
+                waivers.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # unterminated strings etc.; the ast parse will have failed too
+    return waivers
+
+
+class LintRule:
+    """Base class: one named check over a parsed module."""
+
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=str(module.path),
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class FloatEqualityRule(LintRule):
+    """No ``==``/``!=`` against float literals in numeric-critical code.
+
+    ``score == 0.95`` is almost never what the author means once the
+    operands are derived values; Eqn 4 penalties and Eqn 1 scores are
+    sums of products of floats and differ by ulps across evaluation
+    orders.  Compare through :func:`repro.model.numeric.approx_eq` /
+    ``approx_zero``, or waive with ``# lint: exact-float`` when the
+    compared value is provably bit-exact (e.g. assigned literally in
+    the same scope).
+    """
+
+    name = "exact-float"
+    description = "float-literal ==/!= comparison in scoring/penalty/geometry code"
+    scopes = ("repro.model", "repro.core", "repro.index")
+    exempt_modules = ("repro.model.numeric",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        if module.module in self.exempt_modules:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "float-literal equality comparison; use "
+                        "repro.model.numeric.approx_eq/approx_zero or waive "
+                        "with '# lint: exact-float' if exactness is intended",
+                    )
+                    break
+
+
+class BareAssertRule(LintRule):
+    """No ``assert`` in runtime library code.
+
+    ``python -O`` strips asserts, so an invariant guarded by one simply
+    disappears in optimised deployments.  Use
+    :func:`repro.errors.ensure` / :func:`repro.errors.ensure_not_none`,
+    which raise :class:`repro.errors.InvariantViolationError`.
+    """
+
+    name = "bare-assert"
+    description = "assert statement in runtime code (stripped by python -O)"
+    scopes = ("repro",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module,
+                    node,
+                    "bare assert is stripped by 'python -O'; raise via "
+                    "repro.errors.ensure/ensure_not_none instead",
+                )
+
+
+class PagerAccessRule(LintRule):
+    """All page I/O outside ``repro.storage`` must go through BufferPool.
+
+    Flags (outside :mod:`repro.storage`):
+
+    * ``Pager(...)`` construction — use ``BufferPool.create(...)``;
+    * any attribute access *on* a ``pager`` object (``self.pager.read``,
+      ``tree.pager.allocate``, ``pager.free`` …) — use the pool's
+      ``fetch`` / ``allocate`` / ``update`` / ``free`` pass-throughs,
+      which keep the cache coherent and the hit/miss counters honest.
+
+    Handing the pager object itself to storage-layer helpers
+    (``PackedWriter(tree.buffer.pager)``) is allowed: passing a
+    reference is not I/O.
+    """
+
+    name = "pager-access"
+    description = "direct Pager construction/method access outside repro.storage"
+    scopes = ("repro",)
+    exempt = ("repro.storage",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        if module.in_package(*self.exempt):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Pager"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "direct Pager construction; use BufferPool.create() so "
+                    "all I/O is pool-accounted",
+                )
+            elif isinstance(node, ast.Attribute) and self._is_pager_member(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct pager access '.pager.{node.attr}'; route page "
+                    "I/O through the BufferPool "
+                    "(fetch/allocate/update/free)",
+                )
+
+    @staticmethod
+    def _is_pager_member(node: ast.Attribute) -> bool:
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr == "pager":
+            return True
+        if isinstance(value, ast.Name) and value.id == "pager":
+            return True
+        return False
+
+
+class MutableDefaultRule(LintRule):
+    """No mutable default argument values."""
+
+    name = "mutable-default"
+    description = "mutable default argument value"
+    scopes = ("repro",)
+    _mutable_calls = {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "Counter",
+        "defaultdict",
+        "OrderedDict",
+        "deque",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default in {node.name}(); default to None "
+                        "and materialise inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            return name in self._mutable_calls
+        return False
+
+
+class PublicAnnotationRule(LintRule):
+    """Public API in core/index/model must be fully type-annotated.
+
+    Covers module-level and class-level functions whose name does not
+    start with ``_`` (plus ``__init__``): every parameter except
+    ``self``/``cls`` needs an annotation, and so does the return type.
+    Nested helper functions are implementation details and exempt.
+    """
+
+    name = "public-annotations"
+    description = "missing type annotations on public repro.core/index/model API"
+    scopes = ("repro.core", "repro.index", "repro.model")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        yield from self._check_body(module, module.tree.body)
+
+    def _check_body(
+        self, module: ModuleSource, body: Sequence[ast.stmt]
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_body(module, node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_") and node.name != "__init__":
+                    continue
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleSource, node: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        missing = [
+            p.arg
+            for p in params
+            if p.annotation is None and p.arg not in ("self", "cls")
+        ]
+        for vararg, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(prefix + vararg.arg)
+        if missing:
+            yield self.finding(
+                module,
+                node,
+                f"public function {node.name}() lacks parameter annotations: "
+                + ", ".join(missing),
+            )
+        if node.returns is None:
+            yield self.finding(
+                module,
+                node,
+                f"public function {node.name}() lacks a return annotation",
+            )
+
+
+class NoPrintRule(LintRule):
+    """Library code must not print; only CLI/reporting surfaces do."""
+
+    name = "no-print"
+    description = "print() call outside repro.cli / repro.experiments.reporting"
+    scopes = ("repro",)
+    exempt_modules = ("repro.cli", "repro.experiments.reporting")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scopes):
+            return
+        if module.module in self.exempt_modules:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; return data or log through "
+                    "repro.cli / repro.experiments.reporting",
+                )
+
+
+DEFAULT_RULES: Tuple[LintRule, ...] = (
+    FloatEqualityRule(),
+    BareAssertRule(),
+    PagerAccessRule(),
+    MutableDefaultRule(),
+    PublicAnnotationRule(),
+    NoPrintRule(),
+)
+
+
+class Linter:
+    """Runs a rule set over files, applying per-line waivers."""
+
+    def __init__(self, rules: Optional[Sequence[LintRule]] = None) -> None:
+        self.rules: Tuple[LintRule, ...] = (
+            tuple(rules) if rules is not None else DEFAULT_RULES
+        )
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        try:
+            module = ModuleSource.parse(path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule="syntax",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                if not module.is_waived(rule.name, finding.line):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def lint(self, paths: Iterable[PathLike]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(set(self._expand(paths))):
+            findings.extend(self.lint_file(path))
+        return findings
+
+    @staticmethod
+    def _expand(paths: Iterable[PathLike]) -> Iterator[Path]:
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                yield from path.rglob("*.py")
+            else:
+                yield path
+
+
+def default_linter() -> Linter:
+    """A linter with the full repo rule set."""
+    return Linter(DEFAULT_RULES)
+
+
+def lint_paths(paths: Iterable[PathLike]) -> List[Finding]:
+    """Lint files/directories with the default rules; sorted findings."""
+    return default_linter().lint(paths)

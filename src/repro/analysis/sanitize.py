@@ -1,0 +1,423 @@
+"""Runtime invariant sanitizer for the index and storage layers.
+
+Theorem 1's SetR-tree bound — and with it the correctness of every
+pruning decision BS/AdvancedBS make — holds only under structural
+preconditions: each node's MBR contains everything below it, its union
+set is a superset of every descendant document, and its intersection
+set is a subset of every descendant document.  The KcR-tree's
+MaxDom/MinDom estimation (Theorems 2–3) additionally needs the
+keyword-count maps to be *exact* subtree statistics.  Bulk loading
+establishes all of this; dynamic inserts, deletes, splits, and
+condense-tree reinsertions must each preserve it — and a silent slip
+produces wrong answers, not crashes.
+
+This module walks a built tree (and its buffer pool) and reports every
+violation instead of stopping at the first, so a corrupted structure
+can be diagnosed in one pass.  All reads go through
+:meth:`~repro.storage.buffer_pool.BufferPool.peek`, which charges no
+I/O and leaves the LRU state untouched — sanitizing between experiment
+repetitions does not distort the paper's VII-A1 counters.
+
+Violation ``kind`` values:
+
+==================== ==============================================
+``stored-mbr``       node's stored MBR differs from its entries' MBR
+``mbr-containment``  child MBR escapes the parent entry's MBR
+``entry-mbr``        parent entry's MBR differs from the child node's
+``fan-out``          node holds more entries than the capacity
+``leaf-level``       leaf at a nonzero level / level chain broken
+``union-set``        union set misses a descendant document's term
+``intersection-set`` intersection set has a term some descendant lacks
+``count-map``        KcR count map disagrees with subtree statistics
+``object-coverage``  dataset/tree membership mismatch or duplicate
+``node-count``       tree's node_count/height metadata is stale
+``buffer-accounting`` pool page accounting or hit/miss ledger broken
+==================== ==============================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..errors import InvariantViolationError
+from ..index.entries import Node
+from ..index.kcr_tree import KcRTree
+from ..index.rtree import RTreeBase
+from ..index.setr_tree import SetRTree
+from ..model.geometry import Rect, bounding_rect
+from ..storage.buffer_pool import BufferPool
+from ..storage.packing import SlotRef
+
+__all__ = [
+    "InvariantViolation",
+    "SanitizerReport",
+    "check_tree",
+    "check_buffer_pool",
+]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant at one location."""
+
+    kind: str
+    location: str
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.kind}] {self.location}: {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitizer pass found."""
+
+    violations: List[InvariantViolation] = field(default_factory=list)
+    nodes_checked: int = 0
+    objects_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, location: str, message: str) -> None:
+        self.violations.append(InvariantViolation(kind, location, message))
+
+    def merge(self, other: "SanitizerReport") -> None:
+        self.violations.extend(other.violations)
+        self.nodes_checked += other.nodes_checked
+        self.objects_seen += other.objects_seen
+
+    def raise_if_violations(self) -> None:
+        """Raise :class:`InvariantViolationError` listing every finding."""
+        if self.violations:
+            summary = "; ".join(v.format() for v in self.violations[:10])
+            more = len(self.violations) - 10
+            if more > 0:
+                summary += f"; … and {more} more"
+            raise InvariantViolationError(
+                f"{len(self.violations)} invariant violation(s): {summary}"
+            )
+
+    def format(self) -> str:
+        lines = [
+            f"nodes checked:  {self.nodes_checked}",
+            f"objects seen:   {self.objects_seen}",
+            f"violations:     {len(self.violations)}",
+        ]
+        lines.extend("  " + v.format() for v in self.violations)
+        return "\n".join(lines)
+
+
+def _peek_node(tree: RTreeBase, node_id: int) -> Optional[Node]:
+    payload = tree.buffer.peek(node_id)
+    return payload if isinstance(payload, Node) else None
+
+
+def _peek_doc(tree: RTreeBase, doc_record: SlotRef) -> Optional[FrozenSet[int]]:
+    payload = tree.buffer.peek(doc_record.record)
+    try:
+        doc = payload[doc_record.slot]
+    except (TypeError, IndexError, KeyError):
+        return None
+    return doc if isinstance(doc, frozenset) else None
+
+
+def check_tree(tree: RTreeBase) -> SanitizerReport:
+    """Validate every structural invariant of a built tree.
+
+    Collects (rather than raises on) violations; callers who want an
+    exception use :meth:`SanitizerReport.raise_if_violations`.
+    """
+    report = SanitizerReport()
+    seen_objects: Counter = Counter()
+    _check_node(
+        tree,
+        tree.root_id,
+        parent_rect=None,
+        expected_level=None,
+        report=report,
+        seen_objects=seen_objects,
+    )
+    _check_coverage(tree, seen_objects, report)
+    if report.nodes_checked != tree.node_count:
+        report.add(
+            "node-count",
+            "tree",
+            f"walk visited {report.nodes_checked} nodes but node_count "
+            f"says {tree.node_count}",
+        )
+    root = _peek_node(tree, tree.root_id)
+    if root is not None and root.level + 1 != tree.height:
+        report.add(
+            "node-count",
+            "tree",
+            f"root level {root.level} implies height {root.level + 1}, "
+            f"tree.height says {tree.height}",
+        )
+    report.merge(check_buffer_pool(tree.buffer))
+    return report
+
+
+def _check_node(
+    tree: RTreeBase,
+    node_id: int,
+    parent_rect: Optional[Rect],
+    expected_level: Optional[int],
+    report: SanitizerReport,
+    seen_objects: Counter,
+) -> Tuple[FrozenSet[int], FrozenSet[int], Counter, int]:
+    """Recursive walk; returns (union, intersection, counts, cardinality)
+    of the subtree's documents for the parent's summary checks."""
+    where = f"node {node_id}"
+    node = _peek_node(tree, node_id)
+    if node is None:
+        report.add("stored-mbr", where, "record is not a tree node")
+        return frozenset(), frozenset(), Counter(), 0
+    report.nodes_checked += 1
+
+    if not node.entries:
+        report.add("fan-out", where, "node has no entries")
+        return frozenset(), frozenset(), Counter(), 0
+    if len(node.entries) > tree.capacity:
+        report.add(
+            "fan-out",
+            where,
+            f"{len(node.entries)} entries exceed capacity {tree.capacity}",
+        )
+
+    if expected_level is not None and node.level != expected_level:
+        report.add(
+            "leaf-level",
+            where,
+            f"level {node.level} but parent implies {expected_level}",
+        )
+    if node.is_leaf and node.level != 0:
+        report.add("leaf-level", where, f"leaf stored at level {node.level}")
+
+    actual_rect = bounding_rect(
+        Rect.from_point(e.loc) if node.is_leaf else e.rect for e in node.entries
+    )
+    if actual_rect != node.rect:
+        report.add(
+            "stored-mbr",
+            where,
+            f"stored MBR {node.rect} != entries' MBR {actual_rect}",
+        )
+    if parent_rect is not None and not parent_rect.contains_rect(node.rect):
+        report.add(
+            "mbr-containment",
+            where,
+            f"MBR {node.rect} escapes parent entry MBR {parent_rect}",
+        )
+
+    counts: Counter = Counter()
+    cardinality = 0
+    docs: List[FrozenSet[int]] = []
+    if node.is_leaf:
+        for entry in node.entries:
+            seen_objects[entry.oid] += 1
+            report.objects_seen += 1
+            doc = _peek_doc(tree, entry.doc_record)
+            if doc is None:
+                report.add(
+                    "object-coverage",
+                    where,
+                    f"object {entry.oid}: doc record "
+                    f"{entry.doc_record} is not a keyword set",
+                )
+                continue
+            docs.append(doc)
+            counts.update(doc)
+            cardinality += 1
+    else:
+        for entry in node.entries:
+            child = _peek_node(tree, entry.child_id)
+            if child is not None and entry.rect != child.rect:
+                report.add(
+                    "entry-mbr",
+                    where,
+                    f"entry for child {entry.child_id} carries MBR "
+                    f"{entry.rect} but the child stores {child.rect}",
+                )
+            c_union, c_inter, c_counts, c_cnt = _check_node(
+                tree,
+                entry.child_id,
+                parent_rect=entry.rect,
+                expected_level=node.level - 1,
+                report=report,
+                seen_objects=seen_objects,
+            )
+            # The parent-side summary record is what search reads.
+            _check_summary(
+                tree, entry.aux_record, c_union, c_inter, c_counts, c_cnt,
+                f"node {entry.child_id} (via {where})", report,
+            )
+            docs.append(c_union)
+            counts.update(c_counts)
+            cardinality += c_cnt
+
+    union = frozenset(counts)
+    intersection = frozenset(
+        t for t, c in counts.items() if c == cardinality
+    )
+    if parent_rect is None:  # root: check its own summary record too
+        _check_summary(
+            tree,
+            tree.root_summary_record,
+            union,
+            intersection,
+            counts,
+            cardinality,
+            f"{where} (root summary)",
+            report,
+        )
+    return union, intersection, counts, cardinality
+
+
+def _check_summary(
+    tree: RTreeBase,
+    aux_record: int,
+    union: FrozenSet[int],
+    intersection: FrozenSet[int],
+    counts: Counter,
+    cardinality: int,
+    where: str,
+    report: SanitizerReport,
+) -> None:
+    """Check a stored textual summary against recomputed subtree truth.
+
+    SetR-tree: Theorem 1 needs the stored union to be ⊇ every descendant
+    document (equivalently ⊇ their union) and the stored intersection to
+    be ⊆ every descendant document (⊆ their intersection).  KcR-tree:
+    Theorems 2–3 consume the counts as exact statistics, so exact
+    equality is required.  Trees without textual payloads (the
+    inverted-file baseline) are skipped.
+    """
+    payload = tree.buffer.peek(aux_record)
+    if isinstance(tree, SetRTree):
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            report.add("union-set", where, "summary record is not a set pair")
+            return
+        stored_union, stored_inter = payload
+        missing = union - stored_union
+        if missing:
+            report.add(
+                "union-set",
+                where,
+                f"union set misses descendant terms {sorted(missing)[:5]} "
+                "(Theorem 1 upper bound no longer admissible)",
+            )
+        extra = stored_inter - intersection
+        if extra:
+            report.add(
+                "intersection-set",
+                where,
+                f"intersection set claims terms {sorted(extra)[:5]} that "
+                "some descendant lacks (Theorem 1 denominator too small)",
+            )
+    elif isinstance(tree, KcRTree):
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            report.add("count-map", where, "summary record is not (cnt, kcm)")
+            return
+        stored_cnt, stored_kcm = payload
+        if stored_cnt != cardinality:
+            report.add(
+                "count-map",
+                where,
+                f"cnt={stored_cnt} but the subtree holds {cardinality} objects",
+            )
+        if dict(stored_kcm) != dict(counts):
+            diff = {
+                t: (stored_kcm.get(t), counts.get(t))
+                for t in set(stored_kcm) | set(counts)
+                if stored_kcm.get(t) != counts.get(t)
+            }
+            sample = dict(list(diff.items())[:5])
+            report.add(
+                "count-map",
+                where,
+                f"keyword-count map disagrees with subtree statistics on "
+                f"{len(diff)} term(s), e.g. {sample} (stored, actual)",
+            )
+
+
+def _check_coverage(
+    tree: RTreeBase, seen_objects: Counter, report: SanitizerReport
+) -> None:
+    dataset_ids = {obj.oid for obj in tree.dataset}
+    indexed_ids = set(seen_objects)
+    duplicates = sorted(oid for oid, n in seen_objects.items() if n > 1)
+    if duplicates:
+        report.add(
+            "object-coverage",
+            "tree",
+            f"objects indexed more than once: {duplicates[:10]}",
+        )
+    missing = sorted(dataset_ids - indexed_ids)
+    if missing:
+        report.add(
+            "object-coverage",
+            "tree",
+            f"dataset objects absent from the tree: {missing[:10]}",
+        )
+    phantom = sorted(indexed_ids - dataset_ids)
+    if phantom:
+        report.add(
+            "object-coverage",
+            "tree",
+            f"tree references objects not in the dataset: {phantom[:10]}",
+        )
+
+
+def check_buffer_pool(pool: BufferPool) -> SanitizerReport:
+    """Validate the pool's page accounting and hit/miss ledger.
+
+    * cached spans must sum to ``used_pages``;
+    * the cache must fit in ``capacity_pages``;
+    * every cached record must still exist on the pager with the same
+      span (a freed or re-spanned record left in cache serves stale
+      payloads without charging I/O);
+    * every fetch must have been exactly one hit or one miss — the
+      I/O-counter analogue of "all pins released".
+    """
+    report = SanitizerReport()
+    frames = pool.cached_records()
+    span_sum = sum(frames.values())
+    if span_sum != pool.used_pages:
+        report.add(
+            "buffer-accounting",
+            "pool",
+            f"cached spans sum to {span_sum} pages but used_pages="
+            f"{pool.used_pages}",
+        )
+    if pool.capacity_pages and pool.used_pages > pool.capacity_pages:
+        report.add(
+            "buffer-accounting",
+            "pool",
+            f"used_pages={pool.used_pages} exceeds capacity_pages="
+            f"{pool.capacity_pages}",
+        )
+    for record_id, span in frames.items():
+        if not pool.exists(record_id):
+            report.add(
+                "buffer-accounting",
+                f"record {record_id}",
+                "cached record no longer exists on the pager",
+            )
+        elif pool.span(record_id) != span:
+            report.add(
+                "buffer-accounting",
+                f"record {record_id}",
+                f"cached span {span} != pager span {pool.span(record_id)}",
+            )
+    if pool.fetch_count != pool.hit_count + pool.miss_count:
+        report.add(
+            "buffer-accounting",
+            "pool",
+            f"fetches={pool.fetch_count} but hits+misses="
+            f"{pool.hit_count + pool.miss_count}",
+        )
+    return report

@@ -7,6 +7,8 @@ Subcommands::
     repro-whynot experiment fig4 [--scale smoke] [-o out.md]
     repro-whynot experiment all  [--scale default] [-o EXPERIMENTS_RESULTS.md]
     repro-whynot demo       [--size 2000 --seed 7]   # end-to-end example
+    repro-whynot lint       src/repro [...]          # repo-specific AST lint
+    repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
 
 (Also runnable as ``python -m repro.cli ...``.)
 """
@@ -178,6 +180,59 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if passed == args.trials else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo-specific AST lint rules; exit 1 on any finding."""
+    from .analysis import lint_paths
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}")
+        return 2
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def _cmd_check_invariants(args: argparse.Namespace) -> int:
+    """Build both hybrid indexes and validate every structural invariant.
+
+    With ``--churn N`` the check also exercises the dynamic paths:
+    N objects are deleted and reinserted before the final validation,
+    which is where summary-maintenance bugs actually surface.
+    """
+    from .analysis import check_tree
+    from .data.synthetic import make_euro_like
+    from .index.kcr_tree import KcRTree
+    from .index.setr_tree import SetRTree
+
+    dataset, _ = make_euro_like(args.size, seed=args.seed)
+    status = 0
+    for cls in (SetRTree, KcRTree):
+        tree = cls(dataset, capacity=args.capacity)
+        if args.churn:
+            victims = dataset.objects[: args.churn]
+            for obj in victims:
+                tree.delete(obj)
+                dataset.remove(obj.oid)
+            for obj in victims:
+                dataset.add(obj)
+                tree.insert(obj)
+        # A few accounted fetches so the buffer ledger is non-trivial.
+        for _ in range(3):
+            tree.root()
+        report = check_tree(tree)
+        label = "after churn" if args.churn else "bulk-loaded"
+        print(f"{cls.__name__} ({label}, {args.size} objects):")
+        print(report.format())
+        print()
+        if not report.ok:
+            status = 1
+    print("invariants OK" if status == 0 else "INVARIANT VIOLATIONS FOUND")
+    return status
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from . import (
         Oracle,
@@ -245,6 +300,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_quality.add_argument("--scale", default="default", choices=sorted(SCALES))
     p_quality.set_defaults(func=_cmd_quality)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific AST lint rules"
+    )
+    p_lint.add_argument(
+        "paths", nargs="+", help="files or directories to lint (e.g. src/repro)"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_check = sub.add_parser(
+        "check-invariants",
+        help="validate SetR/KcR-tree structure and buffer accounting",
+    )
+    p_check.add_argument("--size", type=int, default=10_000)
+    p_check.add_argument("--seed", type=int, default=7)
+    p_check.add_argument("--capacity", type=int, default=100)
+    p_check.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="delete+reinsert this many objects before validating",
+    )
+    p_check.set_defaults(func=_cmd_check_invariants)
 
     p_verify = sub.add_parser(
         "verify", help="cross-check all exact algorithms against brute force"

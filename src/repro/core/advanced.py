@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..errors import ensure_not_none
 from ..index.setr_tree import SetRTree
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -103,7 +104,10 @@ class AdvancedAlgorithm:
             stop_limit = penalty_model.max_useful_rank(
                 best.penalty, candidate.delta_doc
             )
-            assert stop_limit is not None  # keyword-penalty prune handled above
+            # The keyword-penalty prune above guarantees a finite bound.
+            stop_limit = ensure_not_none(
+                stop_limit, "Eqn 6 bound missing after keyword-penalty prune"
+            )
 
             # Opt3: count cached dominators that survive the keyword
             # change; if the rank bound is already unreachable, prune
@@ -126,8 +130,9 @@ class AdvancedAlgorithm:
             if result.aborted:
                 counters.aborted_early += 1
                 continue
-            rank = result.rank
-            assert rank is not None
+            rank = ensure_not_none(
+                result.rank, "non-aborted rank search returned no rank"
+            )
             penalty = penalty_model.penalty(candidate.delta_doc, rank)
             if penalty < best.penalty:
                 best = RefinedQuery(

@@ -32,8 +32,10 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, ensure_not_none
+from ..model.numeric import approx_zero
 from ..index.kcr_tree import KcRTree
+from ..index.rtree import RTreeBase
 from ..index.setr_tree import SetRTree
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -51,7 +53,7 @@ class AlphaRefinementAlgorithm:
 
     def __init__(
         self,
-        tree,
+        tree: RTreeBase,
         model: SimilarityModel = JACCARD,
         *,
         n_samples: int = 64,
@@ -98,8 +100,9 @@ class AlphaRefinementAlgorithm:
             if result.aborted:
                 counters.aborted_early += 1
                 continue
-            rank = result.rank
-            assert rank is not None
+            rank = ensure_not_none(
+                result.rank, "non-aborted rank search returned no rank"
+            )
             penalty = penalty_model.k_penalty(rank) + alpha_pen
             if penalty < best.penalty:
                 best = RefinedQuery(
@@ -129,7 +132,7 @@ class AlphaRefinementAlgorithm:
         """
         if fixed_pen >= incumbent:
             return None
-        if penalty_model.lam == 0.0:
+        if approx_zero(penalty_model.lam):
             return 10**18
         lo = penalty_model.k0
         hi = lo + 1

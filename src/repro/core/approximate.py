@@ -19,8 +19,9 @@ from __future__ import annotations
 import time
 from typing import FrozenSet, List, Optional, Sequence
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, ensure_not_none
 from ..index.kcr_tree import KcRTree
+from ..index.rtree import RTreeBase
 from ..index.setr_tree import SetRTree
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -51,7 +52,7 @@ class ApproximateAlgorithm:
 
     def __init__(
         self,
-        tree,
+        tree: RTreeBase,
         sample_size: int,
         strategy: str = "kcr",
         model: SimilarityModel = JACCARD,
@@ -178,8 +179,9 @@ class ApproximateAlgorithm:
             if result.aborted:
                 counters.aborted_early += 1
                 continue
-            rank = result.rank
-            assert rank is not None
+            rank = ensure_not_none(
+                result.rank, "non-aborted rank search returned no rank"
+            )
             penalty = penalty_model.penalty(candidate.delta_doc, rank)
             if penalty < best.penalty:
                 best = RefinedQuery(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..errors import ensure_not_none
 from ..index.setr_tree import SetRTree
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -45,8 +46,8 @@ class BasicAlgorithm:
             result = context.searcher.rank_of_missing(
                 context.query, context.missing, keywords=candidate.keywords
             )
-            rank = result.rank
-            assert rank is not None  # BS never sets a stop limit
+            # BS never sets a stop limit, so a rank always exists.
+            rank = ensure_not_none(result.rank, "unlimited rank search returned no rank")
             penalty = penalty_model.penalty(candidate.delta_doc, rank)
             if penalty < best.penalty:
                 best = RefinedQuery(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
-from ..errors import MissingObjectError
+from ..errors import MissingObjectError, ensure_not_none
 from ..index.rtree import RTreeBase
 from ..index.search import TopKSearcher
 from ..model.objects import Dataset, SpatialObject
@@ -62,8 +62,10 @@ class QuestionContext:
         missing = tuple(dataset.get(oid) for oid in question.missing)
         searcher = TopKSearcher(tree, model)
         rank_result = searcher.rank_of_missing(query, missing)
-        initial_rank = rank_result.rank
-        assert initial_rank is not None  # no stop limit was set
+        # No stop limit was set, so a rank always exists.
+        initial_rank = ensure_not_none(
+            rank_result.rank, "unlimited rank search returned no rank"
+        )
         if initial_rank <= query.k:
             raise MissingObjectError(
                 f"missing objects already rank {initial_rank} <= k={query.k} "

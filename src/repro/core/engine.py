@@ -12,14 +12,14 @@ paper's methods by name.  It is the recommended entry point:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidParameterError
 from ..index.kcr_tree import KcRTree
 from ..index.rtree import DEFAULT_CAPACITY
 from ..index.search import TopKSearcher
 from ..index.setr_tree import SetRTree
-from ..model.objects import Dataset
+from ..model.objects import Dataset, SpatialObject
 from ..model.query import SpatialKeywordQuery, WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel, get_model
 from .advanced import AdvancedAlgorithm
@@ -70,7 +70,7 @@ class WhyNotEngine:
 
     def _apply_buffer_policy(self, tree):
         if self.buffer_fraction is not None:
-            pages = max(32, int(tree.pager.total_pages * self.buffer_fraction))
+            pages = max(32, int(tree.buffer.total_pages * self.buffer_fraction))
             tree.resize_buffer(min(pages, tree.buffer.capacity_pages or pages))
         return tree
 
@@ -102,7 +102,7 @@ class WhyNotEngine:
         if self._kcr is not None:
             self._kcr.reset_buffer()
 
-    def insert(self, obj) -> None:
+    def insert(self, obj: SpatialObject) -> None:
         """Add an object to the dataset and every built index.
 
         Indexes not built yet pick the object up when they are built;
@@ -125,7 +125,7 @@ class WhyNotEngine:
             self._kcr.delete(obj)
         self.dataset.remove(oid)
 
-    def update_keywords(self, oid: int, keywords) -> None:
+    def update_keywords(self, oid: int, keywords: Iterable[int]) -> None:
         """Replace an object's document (delete + reinsert).
 
         This is the merchant loop closed: answer a why-not question
@@ -133,8 +133,6 @@ class WhyNotEngine:
         The object keeps its id and location; document frequencies,
         node summaries, and count maps all update.
         """
-        from ..model.objects import SpatialObject
-
         old = self.dataset.get(oid)
         updated = SpatialObject(oid=oid, loc=old.loc, doc=frozenset(keywords))
         self.remove(oid)
@@ -154,7 +152,7 @@ class WhyNotEngine:
         *,
         sample_size: int = 200,
         n_threads: int = 4,
-        **options,
+        **options: Any,
     ) -> WhyNotAnswer:
         """Answer a why-not question with the chosen method.
 

@@ -29,6 +29,7 @@ from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import ensure_not_none
 from ..index.kcr_tree import KcRTree
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -158,8 +159,7 @@ class KcRAlgorithm:
 
         # Root-level initial bounds (Algorithm 3 lines 2-6).
         root_stats = self._node_stats(tree.root_summary_record)
-        root_rect = tree.root_rect
-        assert root_rect is not None
+        root_rect = ensure_not_none(tree.root_rect, "tree has no root MBR")
         root_geo = self._geo_offsets(root_rect, query.loc, alpha, m_sdist)
         contributions: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
         root_contrib: Dict[int, Tuple[List[int], List[int]]] = {}

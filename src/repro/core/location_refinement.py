@@ -28,7 +28,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, ensure_not_none
+from ..index.rtree import RTreeBase
 from ..model.geometry import Point
 from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
@@ -46,7 +47,7 @@ class LocationRefinementAlgorithm:
 
     def __init__(
         self,
-        tree,
+        tree: RTreeBase,
         model: SimilarityModel = JACCARD,
         *,
         n_fractions: int = 12,
@@ -124,8 +125,9 @@ class LocationRefinementAlgorithm:
             if result.aborted:
                 counters.aborted_early += 1
                 continue
-            rank = result.rank
-            assert rank is not None
+            rank = ensure_not_none(
+                result.rank, "non-aborted rank search returned no rank"
+            )
             penalty = penalty_model.k_penalty(rank) + loc_pen
             if penalty < best.penalty:
                 best = RefinedQuery(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import InvalidParameterError
+from ..model.numeric import approx_zero
 
 __all__ = ["PenaltyModel", "BASIC_REFINED_PENALTY_IS_LAMBDA"]
 
@@ -128,8 +129,11 @@ class PenaltyModel:
         text_pen = self.keyword_penalty(delta_doc)
         if text_pen >= incumbent_penalty:
             return None
-        if self.lam == 0.0:
-            # Rank is free; any rank improves as long as Δdoc does.
+        if approx_zero(self.lam):
+            # Rank is (effectively) free; any rank improves as long as
+            # Δdoc does.  Tolerance-based: a λ of 1e-17 arriving from an
+            # upstream computation must take this branch too, or the
+            # gallop below would crawl through sub-ulp penalty growth.
             return 10**18
         cap = 10**15
         base = self.k0 + (incumbent_penalty - text_pen) / self.lam * self.rank_margin

@@ -25,7 +25,8 @@ import time
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, ensure_not_none
+from ..index.rtree import RTreeBase
 from ..index.search import TopKSearcher
 from ..model.query import SpatialKeywordQuery
 from ..model.similarity import JACCARD, SimilarityModel
@@ -64,7 +65,7 @@ class ReverseSearchReport:
 class ReverseKeywordSearch:
     """[22]-style reverse search over a SetR-tree or KcR-tree."""
 
-    def __init__(self, tree, model: SimilarityModel = JACCARD) -> None:
+    def __init__(self, tree: RTreeBase, model: SimilarityModel = JACCARD) -> None:
         self.tree = tree
         self.model = model
         self.searcher = TopKSearcher(tree, model)
@@ -111,8 +112,9 @@ class ReverseKeywordSearch:
                 if result.aborted:
                     aborted += 1
                     continue  # rank > k: does not qualify
-                rank = result.rank
-                assert rank is not None
+                rank = ensure_not_none(
+                    result.rank, "non-aborted rank search returned no rank"
+                )
                 if rank <= k:
                     matches.append(
                         ReverseMatch(

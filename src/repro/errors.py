@@ -9,6 +9,10 @@ and storage-layer faults.
 
 from __future__ import annotations
 
+from typing import Optional, TypeVar
+
+_T = TypeVar("_T")
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -62,6 +66,39 @@ class IndexError_(ReproError, RuntimeError):
     :class:`IndexError`; exported as ``IndexStructureError`` from the
     package root.
     """
+
+
+class InvariantViolationError(ReproError, RuntimeError):
+    """An internal invariant failed at runtime.
+
+    Replaces bare ``assert`` statements in library code: asserts are
+    stripped by ``python -O``, so invariants guarded by them silently
+    vanish in optimised runs.  Raised by :func:`ensure` /
+    :func:`ensure_not_none` and by the structural sanitizer
+    (:mod:`repro.analysis.sanitize`).
+    """
+
+
+def ensure(condition: bool, message: str) -> None:
+    """Raise :class:`InvariantViolationError` unless ``condition`` holds.
+
+    The ``python -O``-safe replacement for ``assert condition, message``
+    in runtime paths (the ``bare-assert`` lint rule points here).
+    """
+    if not condition:
+        raise InvariantViolationError(message)
+
+
+def ensure_not_none(value: Optional[_T], message: str) -> _T:
+    """Return ``value``, raising :class:`InvariantViolationError` if None.
+
+    Replaces the ``assert x is not None`` narrowing idiom: it survives
+    ``python -O`` and still narrows ``Optional[T]`` to ``T`` for type
+    checkers because the ``None`` branch raises.
+    """
+    if value is None:
+        raise InvariantViolationError(message)
+    return value
 
 
 # Public alias that avoids the awkward trailing underscore.

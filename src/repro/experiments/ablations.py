@@ -25,6 +25,7 @@ import time
 from typing import Callable, Dict, List
 
 from ..core.engine import WhyNotEngine
+from ..errors import ensure
 from ..index.inverted import InvertedFileIndex
 from ..index.search import TopKSearcher
 from .config import SCALES, Defaults, Scale
@@ -125,7 +126,10 @@ def ablation_index_baseline(scale: Scale) -> FigureResult:
             result = rank_fn(case.question.query, missing)
             elapsed = time.perf_counter() - started
             delta = stats.snapshot() - before
-            assert result.rank == case.initial_rank
+            ensure(
+                result.rank == case.initial_rank,
+                "index rank search disagrees with the recorded initial rank",
+            )
             aggregate.add(elapsed, delta.page_reads, 0.0)
         return aggregate
 

@@ -31,6 +31,7 @@ from ..model.objects import Dataset, SpatialObject
 from ..model.query import SpatialKeywordQuery
 from ..model.similarity import JACCARD, SimilarityModel
 from ..storage.layout import keyword_set_bytes
+from ..storage.stats import IOStatistics
 from .rtree import RTreeBase, TextSummary
 from .search import RankResult
 
@@ -60,7 +61,7 @@ class InvertedFileIndex:
         dataset: Dataset,
         capacity: int = 100,
         model: SimilarityModel = JACCARD,
-        **tree_kwargs,
+        **tree_kwargs: object,
     ) -> None:
         self.dataset = dataset
         self.model = model
@@ -73,13 +74,13 @@ class InvertedFileIndex:
                 postings.setdefault(term, []).append((obj.oid, len(obj.doc)))
         for term, entries in postings.items():
             nbytes = keyword_set_bytes(2 * len(entries))
-            self._postings_records[term] = self.tree.pager.allocate(
+            self._postings_records[term] = self.tree.buffer.allocate(
                 tuple(entries), nbytes
             )
         self._counter = itertools.count()
 
     @property
-    def stats(self):
+    def stats(self) -> IOStatistics:
         return self.tree.stats
 
     def reset_buffer(self) -> None:
@@ -92,17 +93,16 @@ class InvertedFileIndex:
         for term in obj.doc:
             record = self._postings_records.get(term)
             if record is None:
-                self._postings_records[term] = self.tree.pager.allocate(
+                self._postings_records[term] = self.tree.buffer.allocate(
                     ((obj.oid, len(obj.doc)),), keyword_set_bytes(2)
                 )
                 continue
             entries = tuple(self.tree.buffer.fetch(record)) + (
                 (obj.oid, len(obj.doc)),
             )
-            self.tree.pager.update(
+            self.tree.buffer.update(
                 record, entries, keyword_set_bytes(2 * len(entries))
             )
-            self.tree.buffer.invalidate(record)
 
     # ------------------------------------------------------------------
     # textual phase

@@ -91,7 +91,7 @@ class _StructureLoader:
     def __init__(self, tree: RTreeBase, dataset: Dataset) -> None:
         self.tree = tree
         self.dataset = dataset
-        self.doc_writer = PackedWriter(tree.pager)
+        self.doc_writer = PackedWriter(tree.buffer.pager)
 
     def build(self, spec: Dict[str, Any]) -> Tuple[Rect, ChildEntry, TextSummary]:
         if spec["leaf"]:
@@ -142,7 +142,7 @@ class _StructureLoader:
             entries=entries,
             level=spec["level"],
         )
-        node.node_id = tree.pager.allocate(node, node_bytes(len(entries)))
+        node.node_id = tree.buffer.allocate(node, node_bytes(len(entries)))
         node.aux_record = tree._allocate_summary(summary)
         tree.node_count += 1
         return rect, ChildEntry(
@@ -151,7 +151,7 @@ class _StructureLoader:
 
 
 def load_index(
-    path: Union[str, Path], dataset: Dataset, **tree_kwargs
+    path: Union[str, Path], dataset: Dataset, **tree_kwargs: Any
 ) -> RTreeBase:
     """Reconstruct a tree saved with :func:`save_index`.
 

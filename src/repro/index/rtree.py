@@ -29,7 +29,7 @@ from ..model.objects import Dataset, SpatialObject
 from ..storage.buffer_pool import DEFAULT_BUFFER_BYTES, BufferPool
 from ..storage.layout import keyword_set_bytes, node_bytes
 from ..storage.packing import PackedWriter, SlotRef, fetch_slot
-from ..storage.pager import PAGE_SIZE, Pager
+from ..storage.pager import PAGE_SIZE
 from ..storage.stats import IOStatistics
 from .entries import ChildEntry, Node, ObjectEntry
 
@@ -179,8 +179,10 @@ class RTreeBase:
         self.dataset = dataset
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStatistics()
-        self.pager = Pager(page_size=page_size, stats=self.stats)
-        self.buffer = BufferPool(self.pager, capacity_bytes=buffer_bytes)
+        self.buffer = BufferPool.create(
+            page_size=page_size, capacity_bytes=buffer_bytes, stats=self.stats
+        )
+        self.pager = self.buffer.pager  # storage-internal; I/O goes via buffer
         self.root_id: int = -1
         self.root_rect: Optional[Rect] = None
         self.root_summary_record: int = -1
@@ -193,7 +195,7 @@ class RTreeBase:
     def _allocate_summary(self, summary: TextSummary) -> int:
         """Serialise a node summary into a pager record; return its id."""
         payload, nbytes = self._summary_payload(summary)
-        return self.pager.allocate(payload, nbytes)
+        return self.buffer.allocate(payload, nbytes)
 
     def _summary_payload(self, summary: TextSummary) -> Tuple[Any, int]:
         """Serialise a bottom-up summary into ``(payload, nbytes)``."""
@@ -218,7 +220,7 @@ class RTreeBase:
             (Rect.from_point(obj.loc), obj, TextSummary.of_object(obj))
             for obj in self.dataset
         ]
-        doc_writer = PackedWriter(self.pager)
+        doc_writer = PackedWriter(self.buffer.pager)
         level = 0
         items: List[Tuple[Rect, Any, TextSummary]] = leaf_items
         is_leaf = True
@@ -267,7 +269,7 @@ class RTreeBase:
         node = Node(
             node_id=-1, is_leaf=is_leaf, rect=rect, entries=entries, level=level
         )
-        node_id = self.pager.allocate(node, node_bytes(len(entries)))
+        node_id = self.buffer.allocate(node, node_bytes(len(entries)))
         node.node_id = node_id
         summary_record = self._allocate_summary(summary)
         node.aux_record = summary_record
@@ -371,7 +373,7 @@ class RTreeBase:
                 f"object {obj.oid} must be added to the dataset before "
                 "being inserted into the index"
             )
-        writer = PackedWriter(self.pager)
+        writer = PackedWriter(self.buffer.pager)
         index = writer.add(obj.doc, keyword_set_bytes(len(obj.doc)))
         writer.flush()
         entry = ObjectEntry(oid=obj.oid, loc=obj.loc, doc_record=writer.ref(index))
@@ -394,7 +396,7 @@ class RTreeBase:
             [self.buffer.fetch(old_entry.aux_record),
              self.buffer.fetch(sibling.aux_record)]
         )
-        aux_record = self.pager.allocate(payload, nbytes)
+        aux_record = self.buffer.allocate(payload, nbytes)
         new_root = Node(
             node_id=-1,
             is_leaf=False,
@@ -403,7 +405,7 @@ class RTreeBase:
             level=root.level + 1,
             aux_record=aux_record,
         )
-        new_root.node_id = self.pager.allocate(new_root, node_bytes(len(entries)))
+        new_root.node_id = self.buffer.allocate(new_root, node_bytes(len(entries)))
         self.node_count += 1
         self.height += 1
         self.root_id = new_root.node_id
@@ -461,8 +463,7 @@ class RTreeBase:
         node.entries = group_a
         node.rect = bounding_rect(rect_of(e) for e in group_a)
         payload, nbytes = self._payload_of_entries(node)
-        self.pager.update(node.aux_record, payload, nbytes)
-        self.buffer.invalidate(node.aux_record)
+        self.buffer.update(node.aux_record, payload, nbytes)
 
         sibling = Node(
             node_id=-1,
@@ -471,11 +472,11 @@ class RTreeBase:
             entries=group_b,
             level=node.level,
         )
-        sibling.node_id = self.pager.allocate(
+        sibling.node_id = self.buffer.allocate(
             sibling, node_bytes(len(group_b))
         )
         payload, nbytes = self._payload_of_entries(sibling)
-        sibling.aux_record = self.pager.allocate(payload, nbytes)
+        sibling.aux_record = self.buffer.allocate(payload, nbytes)
         self.node_count += 1
         return ChildEntry(
             child_id=sibling.node_id, rect=sibling.rect, aux_record=sibling.aux_record
@@ -524,10 +525,8 @@ class RTreeBase:
         root = self.buffer.fetch(self.root_id)
         while not root.is_leaf and len(root.entries) == 1:
             only = root.entries[0]
-            self.pager.free(root.node_id)
-            self.buffer.invalidate(root.node_id)
-            self.pager.free(root.aux_record)
-            self.buffer.invalidate(root.aux_record)
+            self.buffer.free(root.node_id)
+            self.buffer.free(root.aux_record)
             self.node_count -= 1
             self.height -= 1
             self.root_id = only.child_id
@@ -584,10 +583,8 @@ class RTreeBase:
             for entry in node.entries:
                 child = self.buffer.fetch(entry.child_id)
                 self._evict_subtree(child, orphans)
-        self.pager.free(node.node_id)
-        self.buffer.invalidate(node.node_id)
-        self.pager.free(node.aux_record)
-        self.buffer.invalidate(node.aux_record)
+        self.buffer.free(node.node_id)
+        self.buffer.free(node.aux_record)
         self.node_count -= 1
 
     def _refresh_node(self, node: Node) -> None:
@@ -597,19 +594,16 @@ class RTreeBase:
                 self._entry_rect(node, e) for e in node.entries
             )
             payload, nbytes = self._payload_of_entries(node)
-            self.pager.update(node.aux_record, payload, nbytes)
-            self.buffer.invalidate(node.aux_record)
+            self.buffer.update(node.aux_record, payload, nbytes)
         self._write_node(node)
 
     def _augment_summary_record(self, aux_record: int, doc: FrozenSet[int]) -> None:
         payload = self.buffer.fetch(aux_record)
         new_payload, nbytes = self._augment_payload(payload, doc)
-        self.pager.update(aux_record, new_payload, nbytes)
-        self.buffer.invalidate(aux_record)
+        self.buffer.update(aux_record, new_payload, nbytes)
 
     def _write_node(self, node: Node) -> None:
-        self.pager.update(node.node_id, node, node_bytes(len(node.entries)))
-        self.buffer.invalidate(node.node_id)
+        self.buffer.update(node.node_id, node, node_bytes(len(node.entries)))
 
     # ------------------------------------------------------------------
     # diagnostics

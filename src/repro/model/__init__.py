@@ -1,6 +1,7 @@
 """Data model: geometry, objects, queries, similarity, scoring, oracle."""
 
 from .geometry import Point, Rect, bounding_rect, euclidean, space_diagonal
+from .numeric import approx_eq, approx_ge, approx_le, approx_zero
 from .objects import Dataset, SpatialObject
 from .oracle import Oracle
 from .query import SpatialKeywordQuery, WhyNotQuestion
@@ -22,6 +23,10 @@ __all__ = [
     "bounding_rect",
     "euclidean",
     "space_diagonal",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
+    "approx_zero",
     "Dataset",
     "SpatialObject",
     "Oracle",

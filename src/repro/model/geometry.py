@@ -136,9 +136,11 @@ class Rect:
             dy = self.min_y - y
         elif y > self.max_y:
             dy = y - self.max_y
-        if dx == 0.0:
+        # Exact zero tests are intentional: dx/dy are either the 0.0
+        # assigned above or a positive difference — never rounding noise.
+        if dx == 0.0:  # lint: exact-float
             return dy
-        if dy == 0.0:
+        if dy == 0.0:  # lint: exact-float
             return dx
         return math.hypot(dx, dy)
 

@@ -1,0 +1,88 @@
+"""Tolerance-aware float comparisons.
+
+The penalty model (Eqn 4) and the ranking function (Eqn 1) are computed
+in IEEE-754 doubles, so exact ``==``/``!=`` on derived float values is
+a correctness hazard: two mathematically equal penalties can differ by
+an ulp depending on evaluation order, and branch conditions like
+``lam == 0.0`` silently misbehave when ``lam`` arrives as ``1e-17``
+from an upstream computation.  The ``exact-float`` lint rule
+(:mod:`repro.analysis.lint`) bans float-literal equality comparisons in
+scoring/penalty/geometry code; call sites migrate to these helpers or
+carry an explicit ``# lint: exact-float`` waiver when bit-exactness is
+intended (e.g. comparing against a value the same function assigned).
+
+Tolerances follow :func:`math.isclose` semantics — a relative tolerance
+for large magnitudes plus an absolute floor for comparisons against
+zero, where relative tolerance is meaningless.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "DEFAULT_ABS_TOL",
+    "approx_eq",
+    "approx_le",
+    "approx_ge",
+    "approx_zero",
+]
+
+DEFAULT_REL_TOL = 1e-9
+"""Relative tolerance: ~quarter of the significand, far above ulp noise
+but far below any meaningful penalty/score difference (the smallest
+distinct penalty step is ``min(λ, 1−λ)/normaliser`` ≥ ~1e-4 in the
+paper's parameter grid)."""
+
+DEFAULT_ABS_TOL = 1e-12
+"""Absolute floor so comparisons against exactly 0.0 still succeed for
+accumulated rounding residue."""
+
+
+def approx_eq(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """``a == b`` up to tolerance (:func:`math.isclose` with defaults
+    suited to normalised scores and penalties in ``[0, 1]``)."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def approx_zero(
+    value: float,
+    *,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """``value == 0.0`` up to the absolute tolerance only.
+
+    Comparing against zero with a relative tolerance is a no-op (every
+    nonzero float is infinitely far from 0 in relative terms), so this
+    helper makes the intent explicit.
+    """
+    return abs(value) <= abs_tol
+
+
+def approx_le(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """``a <= b`` up to tolerance: true when strictly below or close."""
+    return a <= b or approx_eq(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def approx_ge(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """``a >= b`` up to tolerance: true when strictly above or close."""
+    return a >= b or approx_eq(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

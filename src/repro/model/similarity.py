@@ -93,9 +93,10 @@ class DiceSimilarity:
     ) -> float:
         # Any document contains the node intersection, so |d| >= |N∩|;
         # the intersection with q is at most |N∪ ∩ q|.
-        numerator = 2.0 * len(union & query)
-        if numerator == 0.0:
+        overlap = len(union & query)
+        if overlap == 0:
             return 0.0
+        numerator = 2.0 * overlap
         denominator = len(intersection) + len(query)
         # A document also has |d ∩ q| <= |d|, so the bound never needs
         # to exceed 1.

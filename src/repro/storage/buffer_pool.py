@@ -9,6 +9,14 @@ three-page keyword payload consumes three page frames.
 Eviction is strict LRU on record granularity.  Records larger than the
 entire pool are read through without being cached — they would
 otherwise evict everything for no benefit.
+
+The pool is also the **only sanctioned page-I/O surface outside this
+package**: the ``pager-access`` lint rule (:mod:`repro.analysis.lint`)
+forbids direct :class:`Pager` method calls elsewhere, so every read
+goes through :meth:`fetch` and every write through the
+:meth:`allocate` / :meth:`update` / :meth:`free` write-through methods
+(which keep the cache coherent by invalidating on mutation).  That
+discipline is what keeps the paper's VII-A1 I/O counters honest.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from collections import OrderedDict
 from typing import Any, Optional
 
 from ..errors import StorageError
-from .pager import Pager
+from .pager import PAGE_SIZE, Pager
 from .stats import IOStatistics
 
 __all__ = ["BufferPool", "DEFAULT_BUFFER_BYTES"]
@@ -41,11 +49,32 @@ class BufferPool:
         self.capacity_pages = capacity_bytes // pager.page_size
         self._frames: "OrderedDict[int, int]" = OrderedDict()  # record id -> span
         self._used_pages = 0
+        # Pool-local fetch accounting, checked by the invariant
+        # sanitizer: every fetch is exactly one hit or one miss.
+        self.fetch_count = 0
+        self.hit_count = 0
+        self.miss_count = 0
         # The parallel mode (Section IV-C4 / Fig 10) shares one pool
         # across worker threads; the lock keeps the LRU bookkeeping
         # consistent.  Uncontended acquisition is cheap enough to keep
         # unconditionally.
         self._lock = threading.RLock()
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        page_size: int = PAGE_SIZE,
+        capacity_bytes: int = DEFAULT_BUFFER_BYTES,
+        stats: Optional[IOStatistics] = None,
+    ) -> "BufferPool":
+        """Build a pool over a fresh :class:`Pager` in one call.
+
+        This is how code outside :mod:`repro.storage` obtains a storage
+        substrate without ever constructing (and thus being tempted to
+        call) a :class:`Pager` directly.
+        """
+        return cls(Pager(page_size=page_size, stats=stats), capacity_bytes)
 
     @property
     def stats(self) -> IOStatistics:
@@ -54,6 +83,15 @@ class BufferPool:
     @property
     def used_pages(self) -> int:
         return self._used_pages
+
+    @property
+    def total_pages(self) -> int:
+        """Pages allocated on the underlying simulated disk."""
+        return self.pager.total_pages
+
+    @property
+    def page_size(self) -> int:
+        return self.pager.page_size
 
     def __contains__(self, record_id: object) -> bool:
         return record_id in self._frames
@@ -66,12 +104,15 @@ class BufferPool:
         evicting LRU records until it fits.
         """
         with self._lock:
+            self.fetch_count += 1
             span = self._frames.get(record_id)
             if span is not None:
                 self._frames.move_to_end(record_id)
+                self.hit_count += 1
                 self.stats.buffer_hits += 1
                 return self.pager.peek(record_id)
 
+            self.miss_count += 1
             payload = self.pager.read(record_id)  # charges the span
             span = self.pager.span(record_id)
             if span <= self.capacity_pages:
@@ -79,6 +120,54 @@ class BufferPool:
                 self._frames[record_id] = span
                 self._used_pages += span
             return payload
+
+    def peek(self, record_id: int) -> Any:
+        """Return a record's payload without charging I/O or touching LRU.
+
+        For diagnostics only (the invariant sanitizer walks whole trees
+        and must not distort the experiment counters); algorithms go
+        through :meth:`fetch`.
+        """
+        return self.pager.peek(record_id)
+
+    def span(self, record_id: int) -> int:
+        """Pages the record occupies on disk (no I/O charged)."""
+        return self.pager.span(record_id)
+
+    def exists(self, record_id: int) -> bool:
+        """Whether the record is live on the underlying pager.
+
+        (``record_id in pool`` asks the *cache*; this asks the disk.)
+        """
+        return record_id in self.pager
+
+    def cached_records(self) -> "OrderedDict[int, int]":
+        """Snapshot of the cache: record id -> page span (LRU order).
+
+        Exposed for the buffer-accounting invariant checks in
+        :mod:`repro.analysis.sanitize`.
+        """
+        with self._lock:
+            return OrderedDict(self._frames)
+
+    # ------------------------------------------------------------------
+    # write-through mutation (cache-coherent pager pass-throughs)
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any, nbytes: int) -> int:
+        """Allocate a new record on the underlying pager (write I/O)."""
+        return self.pager.allocate(payload, nbytes)
+
+    def update(self, record_id: int, payload: Any, nbytes: int) -> None:
+        """Overwrite a record and drop any cached copy of it."""
+        with self._lock:
+            self.pager.update(record_id, payload, nbytes)
+            self.invalidate(record_id)
+
+    def free(self, record_id: int) -> None:
+        """Release a record and drop any cached copy of it."""
+        with self._lock:
+            self.pager.free(record_id)
+            self.invalidate(record_id)
 
     def invalidate(self, record_id: int) -> None:
         """Drop a record from the cache (after an update or free)."""

@@ -1,0 +1,347 @@
+"""Per-rule fixture tests for the repo-specific AST linter.
+
+Each test writes a small snippet under ``tmp_path/repro/...`` — module
+names are resolved by anchoring at the ``repro`` path component, so the
+fixtures land in the same rule scopes as real library code — and
+asserts exactly which rules fire.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.lint import Linter, default_linter
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_snippet(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path])
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestFloatEquality:
+    def test_flags_equality_against_float_literal(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(lam: float) -> bool:
+                return lam == 0.0
+            """,
+        )
+        assert rules_of(findings) == ["exact-float"]
+        assert findings[0].line == 3
+
+    def test_flags_not_equal_and_negative_literals(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/model/snippet.py",
+            """
+            def f(x: float) -> bool:
+                return x != -1.0
+            """,
+        )
+        assert rules_of(findings) == ["exact-float"]
+
+    def test_int_literal_comparison_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(n: int) -> bool:
+                return n == 0
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            def f(x: float) -> bool:
+                return x == 0.5
+            """,
+        )
+        assert findings == []
+
+    def test_waiver_on_same_line(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(x: float) -> bool:
+                return x == 0.0  # lint: exact-float
+            """,
+        )
+        assert findings == []
+
+    def test_waiver_on_line_above(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(x: float) -> bool:
+                # lint: exact-float
+                return x == 0.0
+            """,
+        )
+        assert findings == []
+
+    def test_waive_all_star(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(x: float) -> bool:
+                return x == 0.0  # lint: *
+            """,
+        )
+        assert findings == []
+
+
+class TestBareAssert:
+    def test_flags_assert_in_runtime_code(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            def f(x: int) -> int:
+                assert x > 0
+                return x
+            """,
+        )
+        assert rules_of(findings) == ["bare-assert"]
+
+    def test_code_outside_repro_package_is_ignored(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "plain/snippet.py",
+            """
+            def f(x):
+                assert x > 0
+                print(x == 0.5)
+            """,
+        )
+        assert findings == []
+
+
+class TestPagerAccess:
+    def test_flags_direct_pager_construction(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            from repro.storage.pager import Pager
+
+            def f() -> None:
+                pager = Pager()
+            """,
+        )
+        assert "pager-access" in rules_of(findings)
+
+    def test_flags_method_access_on_pager_attribute(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/index/snippet.py",
+            """
+            def f(tree: object) -> object:
+                return tree.pager.read(0)
+            """,
+        )
+        assert rules_of(findings) == ["pager-access"]
+
+    def test_passing_the_pager_reference_is_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/index/snippet.py",
+            """
+            def f(tree: object, writer_cls: type) -> object:
+                return writer_cls(tree.buffer.pager)
+            """,
+        )
+        assert findings == []
+
+    def test_storage_package_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/snippet.py",
+            """
+            def f(pool: object) -> object:
+                return pool.pager.read(0)
+            """,
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_flags_list_literal_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            def f(items: list = []) -> list:
+                return items
+            """,
+        )
+        assert rules_of(findings) == ["mutable-default"]
+
+    def test_flags_constructor_call_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            from collections import Counter
+
+            def f(*, counts: Counter = Counter()) -> Counter:
+                return counts
+            """,
+        )
+        assert rules_of(findings) == ["mutable-default"]
+
+    def test_none_default_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            from typing import Optional
+
+            def f(items: Optional[list] = None) -> list:
+                return items if items is not None else []
+            """,
+        )
+        assert findings == []
+
+
+class TestPublicAnnotations:
+    def test_flags_unannotated_public_function(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/model/snippet.py",
+            """
+            def score(a, b):
+                return a + b
+            """,
+        )
+        assert rules_of(findings) == ["public-annotations"]
+        assert len(findings) == 2  # parameters + return
+
+    def test_init_is_covered_despite_underscores(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/index/snippet.py",
+            """
+            class Thing:
+                def __init__(self, tree) -> None:
+                    self.tree = tree
+            """,
+        )
+        assert rules_of(findings) == ["public-annotations"]
+
+    def test_private_and_nested_functions_are_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/model/snippet.py",
+            """
+            def _helper(a, b):
+                return a + b
+
+            def public(x: int) -> int:
+                def inner(y):
+                    return y + 1
+                return inner(x)
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_not_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/experiments/snippet.py",
+            """
+            def run(a, b):
+                return a
+            """,
+        )
+        assert findings == []
+
+
+class TestNoPrint:
+    def test_flags_print_in_library_code(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/index/snippet.py",
+            """
+            def f(x: int) -> None:
+                print(x)
+            """,
+        )
+        assert rules_of(findings) == ["no-print"]
+
+    def test_cli_and_reporting_are_exempt(self, tmp_path):
+        for relpath in ("repro/cli.py", "repro/experiments/reporting.py"):
+            findings = lint_snippet(
+                tmp_path,
+                relpath,
+                """
+                def f(x: int) -> None:
+                    print(x)
+                """,
+            )
+            assert findings == [], relpath
+
+
+class TestEngine:
+    def test_syntax_error_becomes_a_finding(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/core/broken.py", "def f(:\n    pass\n"
+        )
+        assert rules_of(findings) == ["syntax"]
+
+    def test_directory_expansion_and_sorting(self, tmp_path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        for name in ("b.py", "a.py"):
+            (tmp_path / "repro" / "core" / name).write_text(
+                "def f(x: float) -> bool:\n    return x == 0.5\n",
+                encoding="utf-8",
+            )
+        findings = lint_paths([tmp_path / "repro"])
+        assert [Path(f.path).name for f in findings] == ["a.py", "b.py"]
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = default_linter().rules[0]
+        try:
+            Linter([rule, rule])
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("duplicate rule names must be rejected")
+
+    def test_finding_format_is_path_line_col_rule(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/snippet.py",
+            """
+            def f(x: float) -> bool:
+                return x == 0.0
+            """,
+        )
+        text = findings[0].format()
+        assert "[exact-float]" in text
+        assert text.startswith(findings[0].path + ":3:")
+
+
+def test_library_tree_is_lint_clean():
+    """The shipped library must carry zero unwaived findings — the same
+    gate CI enforces, kept in-suite so it cannot rot locally."""
+    findings = lint_paths([REPO_SRC])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -1,0 +1,181 @@
+"""Invariant-sanitizer tests: clean trees validate, corrupted trees don't.
+
+The big fixture is a 10,000-object EURO-like SetR-tree at the paper's
+node capacity (100).  Corruption tests tamper with one record through
+the pool's sanctioned write path, assert the sanitizer pinpoints the
+damage, then restore the original payload (records store live objects,
+so restoring the reference restores the tree bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import make_euro_like
+from repro.analysis import check_buffer_pool, check_tree
+from repro.errors import InvariantViolationError
+from repro.index.kcr_tree import KcRTree
+from repro.index.setr_tree import SetRTree
+
+
+@pytest.fixture(scope="module")
+def big_setr():
+    dataset, _ = make_euro_like(10_000, seed=13)
+    return SetRTree(dataset, capacity=100)
+
+
+def kinds_of(report):
+    return {v.kind for v in report.violations}
+
+
+def first_branch_entry(tree):
+    """A (node, entry) pair where entry points at a child node."""
+    node = tree.root()
+    assert not node.is_leaf, "fixture tree must have at least two levels"
+    return node, node.entries[0]
+
+
+class TestCleanTrees:
+    def test_10k_setr_tree_validates(self, big_setr):
+        report = check_tree(big_setr)
+        assert report.ok, report.format()
+        assert report.objects_seen == 10_000
+        assert report.nodes_checked == big_setr.node_count
+
+    def test_kcr_tree_validates(self):
+        dataset, _ = make_euro_like(1_000, seed=29)
+        report = check_tree(KcRTree(dataset, capacity=16))
+        assert report.ok, report.format()
+
+    def test_clean_after_dynamic_churn(self):
+        dataset, _ = make_euro_like(800, seed=31)
+        tree = SetRTree(dataset, capacity=8)
+        victims = dataset.objects[:40]
+        for obj in victims:
+            tree.delete(obj)
+            dataset.remove(obj.oid)
+        for obj in victims:
+            dataset.add(obj)
+            tree.insert(obj)
+        report = check_tree(tree)
+        assert report.ok, report.format()
+        assert report.objects_seen == 800
+
+
+class TestCorruptionDetection:
+    def test_union_set_corruption_is_detected(self, big_setr):
+        _, entry = first_branch_entry(big_setr)
+        union, inter = big_setr.buffer.peek(entry.aux_record)
+        dropped = next(iter(union - inter))  # keep the pair consistent
+        big_setr.buffer.update(
+            entry.aux_record, (union - {dropped}, inter), 8
+        )
+        try:
+            report = check_tree(big_setr)
+            assert "union-set" in kinds_of(report)
+        finally:
+            big_setr.buffer.update(entry.aux_record, (union, inter), 8)
+        assert check_tree(big_setr).ok
+
+    def test_intersection_set_corruption_is_detected(self, big_setr):
+        _, entry = first_branch_entry(big_setr)
+        union, inter = big_setr.buffer.peek(entry.aux_record)
+        bogus = max(union) + 1  # a term no descendant document holds
+        big_setr.buffer.update(
+            entry.aux_record, (union, inter | {bogus}), 8
+        )
+        try:
+            report = check_tree(big_setr)
+            assert "intersection-set" in kinds_of(report)
+        finally:
+            big_setr.buffer.update(entry.aux_record, (union, inter), 8)
+        assert check_tree(big_setr).ok
+
+    def test_mbr_corruption_is_detected(self, big_setr):
+        _, entry = first_branch_entry(big_setr)
+        child = big_setr.buffer.peek(entry.child_id)
+        original = child.rect
+        child.rect = type(original)(
+            original.min_x, original.min_y, original.min_x, original.min_y
+        )
+        try:
+            report = check_tree(big_setr)
+            # The shrunken rect no longer matches the entries below it,
+            # and the parent entry's copy now disagrees with the child.
+            assert "stored-mbr" in kinds_of(report)
+            assert "entry-mbr" in kinds_of(report)
+        finally:
+            child.rect = original
+        assert check_tree(big_setr).ok
+
+    def test_kcr_count_corruption_is_detected(self):
+        dataset, _ = make_euro_like(600, seed=37)
+        tree = KcRTree(dataset, capacity=8)
+        node = tree.root()
+        entry = node.entries[0]
+        cnt, kcm = tree.buffer.peek(entry.aux_record)
+        tree.buffer.update(entry.aux_record, (cnt + 1, kcm), 8)
+        report = check_tree(tree)
+        assert "count-map" in kinds_of(report)
+
+    def test_fanout_violation_is_detected(self):
+        dataset, _ = make_euro_like(400, seed=41)
+        tree = SetRTree(dataset, capacity=8)
+        node = tree.root()
+        leaf_id = node.entries[0].child_id
+        while not tree.buffer.peek(leaf_id).is_leaf:
+            leaf_id = tree.buffer.peek(leaf_id).entries[0].child_id
+        leaf = tree.buffer.peek(leaf_id)
+        leaf.entries.extend(leaf.entries * 3)  # overflow + duplicates
+        report = check_tree(tree)
+        assert "fan-out" in kinds_of(report)
+        assert "object-coverage" in kinds_of(report)
+
+    def test_raise_if_violations_raises(self):
+        dataset, _ = make_euro_like(400, seed=43)
+        tree = SetRTree(dataset, capacity=8)
+        node = tree.root()
+        entry = node.entries[0]
+        union, inter = tree.buffer.peek(entry.aux_record)
+        tree.buffer.update(entry.aux_record, (frozenset(), frozenset()), 8)
+        report = check_tree(tree)
+        with pytest.raises(InvariantViolationError):
+            report.raise_if_violations()
+
+    def test_clean_report_raises_nothing(self, big_setr):
+        check_tree(big_setr).raise_if_violations()
+
+
+class TestBufferAccounting:
+    def test_ledger_balances_after_traffic(self, big_setr):
+        big_setr.reset_buffer()
+        for _ in range(5):
+            big_setr.root()
+        report = check_buffer_pool(big_setr.buffer)
+        assert report.ok, report.format()
+        pool = big_setr.buffer
+        assert pool.fetch_count == pool.hit_count + pool.miss_count
+
+    def test_tampered_hit_count_is_detected(self, big_setr):
+        pool = big_setr.buffer
+        pool.fetch(big_setr.root_id)
+        pool.hit_count += 1
+        try:
+            report = check_buffer_pool(pool)
+            assert kinds_of(report) == {"buffer-accounting"}
+        finally:
+            pool.hit_count -= 1
+        assert check_buffer_pool(pool).ok
+
+    def test_stale_cache_entry_is_detected(self, big_setr):
+        pool = big_setr.buffer
+        pool.fetch(big_setr.root_id)
+        # Drop the record behind the cache's back (bypassing the
+        # write-through free() that would invalidate the frame).
+        record = pool.pager._records.pop(big_setr.root_id)
+        try:
+            report = check_buffer_pool(pool)
+            assert "buffer-accounting" in kinds_of(report)
+        finally:
+            pool.pager._records[big_setr.root_id] = record
+        assert check_buffer_pool(pool).ok

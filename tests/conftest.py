@@ -9,6 +9,8 @@ immutable after build.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,36 @@ from repro import (
     make_euro_like,
     make_micro_example,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_built_trees():
+    """Opt-in invariant sanitizing: ``REPRO_SANITIZE=1 pytest ...``.
+
+    Every tree bulk-loaded anywhere in the suite is validated with
+    :func:`repro.analysis.check_tree` immediately after construction;
+    a violation fails the constructing test with the full report.
+    Off by default — the walk is a full-tree scan per build.  (Tests
+    that deliberately corrupt trees do so after construction, so this
+    hook never sees the damage.)
+    """
+    if not os.environ.get("REPRO_SANITIZE"):
+        yield
+        return
+    from repro.analysis import check_tree
+    from repro.index.rtree import RTreeBase
+
+    original_build = RTreeBase._build
+
+    def checked_build(self):
+        original_build(self)
+        check_tree(self).raise_if_violations()
+
+    RTreeBase._build = checked_build
+    try:
+        yield
+    finally:
+        RTreeBase._build = original_build
 
 
 @pytest.fixture(scope="session")
