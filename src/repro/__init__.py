@@ -42,11 +42,14 @@ from .core import (
 )
 from .core import (
     Blocker,
+    FaultEvent,
     LocationRefinementAlgorithm,
     MissingProfile,
     ReverseKeywordSearch,
     ReverseMatch,
     ReverseSearchReport,
+    ScanFallback,
+    TopKOutcome,
     WhyNotExplanation,
     explain,
 )
@@ -63,13 +66,17 @@ from .data import (
     tokenize,
 )
 from .errors import (
+    CorruptRecordError,
     DatasetError,
     IndexStructureError,
     InvalidParameterError,
     InvalidQueryError,
     MissingObjectError,
+    PersistenceError,
+    RecordNotFoundError,
     ReproError,
     StorageError,
+    TransientIOError,
 )
 from .index import (
     InvertedFileIndex,
@@ -88,7 +95,16 @@ from .model import (
     SpatialObject,
     WhyNotQuestion,
 )
-from .storage import BufferPool, IOSnapshot, IOStatistics, Pager
+from .storage import (
+    MIXED,
+    TRANSIENT_ONLY,
+    BufferPool,
+    FaultInjector,
+    FaultSchedule,
+    IOSnapshot,
+    IOStatistics,
+    Pager,
+)
 
 __version__ = "1.0.0"
 
@@ -111,6 +127,9 @@ __all__ = [
     "SearchCounters",
     "WhyNotAnswer",
     "WhyNotEngine",
+    "FaultEvent",
+    "TopKOutcome",
+    "ScanFallback",
     "Vocabulary",
     "load_dataset",
     "make_euro_like",
@@ -137,6 +156,10 @@ __all__ = [
     "MissingObjectError",
     "ReproError",
     "StorageError",
+    "TransientIOError",
+    "CorruptRecordError",
+    "RecordNotFoundError",
+    "PersistenceError",
     "KcRTree",
     "RankResult",
     "SetRTree",
@@ -153,5 +176,9 @@ __all__ = [
     "IOSnapshot",
     "IOStatistics",
     "Pager",
+    "FaultInjector",
+    "FaultSchedule",
+    "TRANSIENT_ONLY",
+    "MIXED",
     "__version__",
 ]

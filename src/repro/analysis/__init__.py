@@ -16,10 +16,12 @@ on float-equality edge cases.  This package guards both sides:
 
 from .lint import Finding, LintRule, Linter, lint_paths
 from .sanitize import (
+    CORRUPTION_KINDS,
     InvariantViolation,
     SanitizerReport,
     check_buffer_pool,
     check_tree,
+    scan_corruption,
 )
 
 __all__ = [
@@ -31,4 +33,6 @@ __all__ = [
     "SanitizerReport",
     "check_buffer_pool",
     "check_tree",
+    "scan_corruption",
+    "CORRUPTION_KINDS",
 ]

@@ -32,30 +32,51 @@ Violation ``kind`` values:
 ``object-coverage``  dataset/tree membership mismatch or duplicate
 ``node-count``       tree's node_count/height metadata is stale
 ``buffer-accounting`` pool page accounting or hit/miss ledger broken
+``checksum-mismatch`` record failed checksum verification (bit-rot/torn)
+``record-missing``   referenced record no longer exists on the disk
+``quarantined-subtree`` engine took the index out of service (health())
 ==================== ==============================================
+
+The walk is **corruption-tolerant**: a record that fails checksum
+verification or has vanished is reported under the corruption kinds
+above and its subtree skipped, rather than aborting the scan — one
+pass diagnoses a damaged tree end to end.  :func:`scan_corruption`
+filters a full check down to those kinds; it is the shared validator
+behind both ``repro-whynot check-invariants`` and the engine's
+:meth:`~repro.core.engine.WhyNotEngine.health` / chaos verification.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
-from ..errors import InvariantViolationError
+from ..errors import (
+    CorruptRecordError,
+    InvariantViolationError,
+    RecordNotFoundError,
+)
 from ..index.entries import Node
 from ..index.kcr_tree import KcRTree
 from ..index.rtree import RTreeBase
 from ..index.setr_tree import SetRTree
 from ..model.geometry import Rect, bounding_rect
 from ..storage.buffer_pool import BufferPool
-from ..storage.packing import SlotRef
 
 __all__ = [
     "InvariantViolation",
     "SanitizerReport",
     "check_tree",
     "check_buffer_pool",
+    "scan_corruption",
+    "CORRUPTION_KINDS",
 ]
+
+CORRUPTION_KINDS = frozenset(
+    {"checksum-mismatch", "record-missing", "quarantined-subtree"}
+)
+"""Violation kinds that indicate storage damage rather than logic bugs."""
 
 
 @dataclass(frozen=True)
@@ -111,18 +132,32 @@ class SanitizerReport:
         return "\n".join(lines)
 
 
-def _peek_node(tree: RTreeBase, node_id: int) -> Optional[Node]:
-    payload = tree.buffer.peek(node_id)
-    return payload if isinstance(payload, Node) else None
+def _peek_record(
+    tree: RTreeBase, record_id: int, report: SanitizerReport, where: str
+) -> Any:
+    """Peek a record, converting integrity errors into violations.
 
-
-def _peek_doc(tree: RTreeBase, doc_record: SlotRef) -> Optional[FrozenSet[int]]:
-    payload = tree.buffer.peek(doc_record.record)
+    Returns the payload, or ``None`` when the record is corrupt or
+    missing — in which case the violation is already recorded under
+    the corruption kinds and the caller should skip the subtree.
+    """
     try:
-        doc = payload[doc_record.slot]
-    except (TypeError, IndexError, KeyError):
+        return tree.buffer.peek(record_id)
+    except CorruptRecordError as exc:
+        report.add("checksum-mismatch", where, str(exc))
+    except RecordNotFoundError as exc:
+        report.add("record-missing", where, str(exc))
+    return None
+
+
+def _try_peek_node(tree: RTreeBase, node_id: int) -> Optional[Node]:
+    """Silent node peek for cross-checks whose target is also walked
+    (and therefore reported) elsewhere — avoids double-reporting."""
+    try:
+        payload = tree.buffer.peek(node_id)
+    except (CorruptRecordError, RecordNotFoundError):
         return None
-    return doc if isinstance(doc, frozenset) else None
+    return payload if isinstance(payload, Node) else None
 
 
 def check_tree(tree: RTreeBase) -> SanitizerReport:
@@ -149,7 +184,7 @@ def check_tree(tree: RTreeBase) -> SanitizerReport:
             f"walk visited {report.nodes_checked} nodes but node_count "
             f"says {tree.node_count}",
         )
-    root = _peek_node(tree, tree.root_id)
+    root = _try_peek_node(tree, tree.root_id)
     if root is not None and root.level + 1 != tree.height:
         report.add(
             "node-count",
@@ -172,9 +207,11 @@ def _check_node(
     """Recursive walk; returns (union, intersection, counts, cardinality)
     of the subtree's documents for the parent's summary checks."""
     where = f"node {node_id}"
-    node = _peek_node(tree, node_id)
+    payload = _peek_record(tree, node_id, report, where)
+    node = payload if isinstance(payload, Node) else None
     if node is None:
-        report.add("stored-mbr", where, "record is not a tree node")
+        if payload is not None:
+            report.add("stored-mbr", where, "record is not a tree node")
         return frozenset(), frozenset(), Counter(), 0
     report.nodes_checked += 1
 
@@ -220,8 +257,19 @@ def _check_node(
         for entry in node.entries:
             seen_objects[entry.oid] += 1
             report.objects_seen += 1
-            doc = _peek_doc(tree, entry.doc_record)
-            if doc is None:
+            page = _peek_record(
+                tree,
+                entry.doc_record.record,
+                report,
+                f"object {entry.oid} ({where})",
+            )
+            if page is None:
+                continue  # corrupt/missing doc page, already reported
+            try:
+                doc = page[entry.doc_record.slot]
+            except (TypeError, IndexError, KeyError):
+                doc = None
+            if not isinstance(doc, frozenset):
                 report.add(
                     "object-coverage",
                     where,
@@ -234,7 +282,7 @@ def _check_node(
             cardinality += 1
     else:
         for entry in node.entries:
-            child = _peek_node(tree, entry.child_id)
+            child = _try_peek_node(tree, entry.child_id)
             if child is not None and entry.rect != child.rect:
                 report.add(
                     "entry-mbr",
@@ -296,7 +344,9 @@ def _check_summary(
     equality is required.  Trees without textual payloads (the
     inverted-file baseline) are skipped.
     """
-    payload = tree.buffer.peek(aux_record)
+    payload = _peek_record(tree, aux_record, report, f"summary of {where}")
+    if payload is None:
+        return
     if isinstance(tree, SetRTree):
         if not (isinstance(payload, tuple) and len(payload) == 2):
             report.add("union-set", where, "summary record is not a set pair")
@@ -420,4 +470,29 @@ def check_buffer_pool(pool: BufferPool) -> SanitizerReport:
             f"fetches={pool.fetch_count} but hits+misses="
             f"{pool.hit_count + pool.miss_count}",
         )
+    return report
+
+
+def scan_corruption(tree: RTreeBase) -> SanitizerReport:
+    """Corruption-focused view of :func:`check_tree`.
+
+    Runs the same full structural walk (one validator for everything —
+    ``check-invariants``, the engine's health report, and the chaos
+    verb all agree by construction) but keeps only the
+    :data:`CORRUPTION_KINDS` violations: checksum mismatches and
+    missing records.  Secondary fallout of damage — e.g. coverage gaps
+    from an unreachable subtree — is deliberately filtered out, so an
+    empty report means "no storage damage detected", not "no
+    violations of any kind".
+
+    Peeks never consult the fault injector or charge I/O, so scanning
+    perturbs neither a seeded fault schedule nor the paper's counters.
+    """
+    full = check_tree(tree)
+    report = SanitizerReport(
+        nodes_checked=full.nodes_checked, objects_seen=full.objects_seen
+    )
+    report.violations.extend(
+        v for v in full.violations if v.kind in CORRUPTION_KINDS
+    )
     return report

@@ -9,6 +9,7 @@ Subcommands::
     repro-whynot demo       [--size 2000 --seed 7]   # end-to-end example
     repro-whynot lint       src/repro [...]          # repo-specific AST lint
     repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
+    repro-whynot chaos      [--seed 7 --queries 200] # fault-injection harness
 
 (Also runnable as ``python -m repro.cli ...``.)
 """
@@ -233,6 +234,111 @@ def _cmd_check_invariants(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a query workload under deterministic fault injection.
+
+    Two engines over the same dataset: a fault-free baseline and a
+    chaotic one driven by the ``mixed`` fault schedule (transients,
+    bit-rot, lost records, torn writes) at ``--intensity`` times the
+    preset rates.  Every chaotic answer must either match the baseline
+    *exactly* or be flagged degraded; any crash or unflagged deviation
+    fails the run.  ``--recover-every`` periodically rebuilds
+    quarantined indexes to exercise the recovery path, and the final
+    corruption scan uses the same validator as ``check-invariants``.
+    """
+    import numpy as np
+
+    from . import (
+        MIXED,
+        FaultInjector,
+        ReproError,
+        SpatialKeywordQuery,
+        WhyNotEngine,
+        WhyNotQuestion,
+        make_euro_like,
+    )
+
+    dataset, _ = make_euro_like(args.size, seed=args.seed)
+    schedule = MIXED.scaled(args.intensity)
+    injector = FaultInjector(schedule, seed=args.seed)
+    baseline = WhyNotEngine(dataset)
+    chaotic = WhyNotEngine(dataset, faults=injector)
+    rng = np.random.default_rng(args.seed)
+
+    crashes = 0
+    unflagged = 0
+    degraded = 0
+    degraded_divergent = 0
+    answers_checked = 0
+    recoveries = 0
+
+    for i in range(args.queries):
+        seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+        doc = frozenset(list(seed_obj.doc)[:3])
+        if not doc:
+            continue
+        query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5)
+        expected = baseline.top_k(query)
+        try:
+            outcome = chaotic.run_top_k(query)
+        except ReproError as exc:
+            crashes += 1
+            print(f"[CRASH] query {i}: {type(exc).__name__}: {exc}")
+            continue
+        if outcome.degraded:
+            degraded += 1
+            if outcome.results != expected:
+                degraded_divergent += 1
+        elif outcome.results != expected:
+            unflagged += 1
+            print(f"[DEVIATION] query {i}: unflagged top-k mismatch")
+
+        if args.answer_every and i % args.answer_every == 0:
+            extended = baseline.top_k(query.with_k(21))
+            if len(extended) < 21:
+                continue
+            question = WhyNotQuestion(query, (extended[-1][1],), lam=0.5)
+            base_answer = baseline.answer(question, method=args.method)
+            try:
+                answer = chaotic.answer(question, method=args.method)
+            except ReproError as exc:
+                crashes += 1
+                print(f"[CRASH] answer {i}: {type(exc).__name__}: {exc}")
+                continue
+            answers_checked += 1
+            same = abs(answer.refined.penalty - base_answer.refined.penalty) < 1e-9
+            if answer.degraded:
+                degraded += 1
+                if not same:
+                    degraded_divergent += 1
+            elif not same:
+                unflagged += 1
+                print(f"[DEVIATION] answer {i}: unflagged penalty mismatch")
+
+        if (
+            args.recover_every
+            and (i + 1) % args.recover_every == 0
+            and chaotic.quarantined
+        ):
+            chaotic.recover()
+            recoveries += 1
+
+    health = chaotic.health()
+    corruption = sum(
+        len(report.violations) for report in health["corruption"].values()
+    )
+    print(f"queries:             {args.queries} (+{answers_checked} why-not answers)")
+    print(f"degraded (flagged):  {degraded}  [divergent from baseline: {degraded_divergent}]")
+    print(f"unflagged deviations:{unflagged:>2}")
+    print(f"crashes:             {crashes}")
+    print(f"recoveries:          {recoveries}  (still quarantined: {sorted(health['quarantined']) or 'none'})")
+    print(f"injector ledger:     {health['injector']}")
+    print(f"live-tree corruption findings: {corruption}")
+    ok = crashes == 0 and unflagged == 0
+    print("CHAOS OK" if ok else "CHAOS FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from . import (
         Oracle,
@@ -323,6 +429,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete+reinsert this many objects before validating",
     )
     p_check.set_defaults(func=_cmd_check_invariants)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a query workload under fault injection; fail on any "
+        "crash or unflagged deviation from the fault-free baseline",
+    )
+    p_chaos.add_argument("--size", type=int, default=2000)
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument("--queries", type=int, default=200)
+    p_chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="multiplier on the mixed schedule's fault rates",
+    )
+    p_chaos.add_argument(
+        "--answer-every",
+        type=int,
+        default=25,
+        help="also check a why-not answer every N queries (0 = never)",
+    )
+    p_chaos.add_argument(
+        "--recover-every",
+        type=int,
+        default=50,
+        help="rebuild quarantined indexes every N queries (0 = never)",
+    )
+    p_chaos.add_argument(
+        "--method",
+        default="kcr",
+        help="why-not method for the answer checks",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_verify = sub.add_parser(
         "verify", help="cross-check all exact algorithms against brute force"

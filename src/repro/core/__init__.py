@@ -7,6 +7,7 @@ from .basic import BasicAlgorithm
 from .bounds import DominationThresholds, NodeTextStats, max_dom, min_dom
 from .candidates import Candidate, CandidateEnumerator
 from .context import QuestionContext
+from .degraded import ScanFallback
 from .dominator_cache import DominatorCache
 from .engine import METHODS, WhyNotEngine
 from .explain import Blocker, MissingProfile, WhyNotExplanation, explain
@@ -15,7 +16,13 @@ from .location_refinement import LocationRefinementAlgorithm
 from .parallel import ParallelAdvanced, ParallelKcR, makespan
 from .particularity import ParticularityIndex
 from .penalty import PenaltyModel
-from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+from .result import (
+    FaultEvent,
+    RefinedQuery,
+    SearchCounters,
+    TopKOutcome,
+    WhyNotAnswer,
+)
 from .reverse import ReverseKeywordSearch, ReverseMatch, ReverseSearchReport
 
 __all__ = [
@@ -31,6 +38,7 @@ __all__ = [
     "Candidate",
     "CandidateEnumerator",
     "QuestionContext",
+    "ScanFallback",
     "DominatorCache",
     "WhyNotEngine",
     "METHODS",
@@ -48,6 +56,8 @@ __all__ = [
     "RefinedQuery",
     "SearchCounters",
     "WhyNotAnswer",
+    "FaultEvent",
+    "TopKOutcome",
     "ReverseKeywordSearch",
     "ReverseMatch",
     "ReverseSearchReport",

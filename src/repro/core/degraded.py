@@ -1,0 +1,162 @@
+"""Index-free exact fallback for quarantined indexes.
+
+When an unrecoverable storage fault (checksum mismatch, lost record)
+surfaces mid-query, the engine quarantines the damaged index and routes
+queries through :class:`ScanFallback` instead of crashing.  The
+fallback evaluates queries directly over the authoritative in-memory
+dataset — the tree never owns object data, so a broken index loses no
+information, only the paper's I/O profile.
+
+Correctness contract: the fallback uses *bit-identical* score
+arithmetic to :class:`~repro.index.search.TopKSearcher`
+(``α·(1−dist) + (1−α)·similarity``, evaluated in the same operation
+order) and the same object-id tie-break, so a degraded top-k result
+equals the fault-free index result exactly, and a degraded why-not
+answer reaches the same optimal refined query as BS would.  The
+``degraded`` flag exists because the *cost* semantics differ (no index
+I/O is charged), not because the answers do.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import MissingObjectError
+from ..model.objects import Dataset, SpatialObject
+from ..model.query import SpatialKeywordQuery, WhyNotQuestion
+from ..model.similarity import JACCARD, SimilarityModel
+from ..storage.stats import IOSnapshot
+from .candidates import CandidateEnumerator
+from .particularity import ParticularityIndex
+from .penalty import PenaltyModel
+from .result import RefinedQuery, SearchCounters, WhyNotAnswer
+
+__all__ = ["ScanFallback"]
+
+KeywordSet = FrozenSet[int]
+
+
+class ScanFallback:
+    """Exact query evaluation by scanning the in-memory dataset."""
+
+    name = "degraded-scan"
+
+    def __init__(self, dataset: Dataset, model: SimilarityModel = JACCARD) -> None:
+        self.dataset = dataset
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # scoring (mirrors TopKSearcher._object_score exactly)
+    # ------------------------------------------------------------------
+    def score(
+        self,
+        obj: SpatialObject,
+        query: SpatialKeywordQuery,
+        keywords: Optional[KeywordSet] = None,
+    ) -> float:
+        """Exact Eqn 1 score — same arithmetic as the index searcher."""
+        doc = query.doc if keywords is None else keywords
+        dist = self.dataset.normalized_distance(obj.loc, query.loc)
+        textual = self.model.similarity(obj.doc, doc)
+        return query.alpha * (1.0 - dist) + (1.0 - query.alpha) * textual
+
+    # ------------------------------------------------------------------
+    # query evaluation
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        query: SpatialKeywordQuery,
+        k: Optional[int] = None,
+        keywords: Optional[KeywordSet] = None,
+    ) -> List[Tuple[float, int]]:
+        """The ``k`` best ``(score, oid)`` pairs, best first.
+
+        Ties break by object id, matching
+        :meth:`repro.index.search.TopKSearcher.top_k`.
+        """
+        limit = query.k if k is None else k
+        scored = sorted(
+            ((self.score(obj, query, keywords), obj.oid) for obj in self.dataset),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        return scored[:limit]
+
+    def rank_of_missing(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        keywords: Optional[KeywordSet] = None,
+    ) -> int:
+        """``R(M, q')``: one plus the strictly-better object count."""
+        threshold = min(self.score(m, query, keywords) for m in missing)
+        dominators = sum(
+            1
+            for obj in self.dataset
+            if self.score(obj, query, keywords) > threshold
+        )
+        return dominators + 1
+
+    # ------------------------------------------------------------------
+    # why-not answering (BS semantics over the scan)
+    # ------------------------------------------------------------------
+    def answer(self, question: WhyNotQuestion) -> WhyNotAnswer:
+        """Answer a why-not question with the BS candidate sweep.
+
+        Same prologue, candidate enumeration order, and penalty model
+        as :class:`~repro.core.basic.BasicAlgorithm`, so the optimal
+        refined query is identical to the fault-free one; only the cost
+        profile differs (no index I/O is charged).
+        """
+        started = time.perf_counter()
+        query = question.query
+        missing = tuple(self.dataset.get(oid) for oid in question.missing)
+        initial_rank = self.rank_of_missing(query, missing)
+        if initial_rank <= query.k:
+            raise MissingObjectError(
+                f"missing objects already rank {initial_rank} <= k={query.k} "
+                "under the initial query; nothing to explain"
+            )
+        missing_doc = frozenset().union(*(m.doc for m in missing))
+        particularity = ParticularityIndex(self.dataset, missing)
+        enumerator = CandidateEnumerator(
+            query.doc, missing_doc, particularity=particularity
+        )
+        penalty_model = PenaltyModel(
+            k0=query.k,
+            initial_rank=initial_rank,
+            doc_universe_size=len(query.doc | missing_doc),
+            lam=question.lam,
+        )
+        counters = SearchCounters()
+        best = RefinedQuery(
+            keywords=query.doc,
+            k=initial_rank,
+            delta_doc=0,
+            rank=initial_rank,
+            penalty=penalty_model.basic_penalty,
+        )
+        for candidate in enumerator.iter_naive():
+            counters.candidates_enumerated += 1
+            counters.candidates_evaluated += 1
+            rank = self.rank_of_missing(
+                query, missing, keywords=candidate.keywords
+            )
+            penalty = penalty_model.penalty(candidate.delta_doc, rank)
+            if penalty < best.penalty:
+                best = RefinedQuery(
+                    keywords=candidate.keywords,
+                    k=penalty_model.refined_k(rank),
+                    delta_doc=candidate.delta_doc,
+                    rank=rank,
+                    penalty=penalty,
+                )
+        return WhyNotAnswer(
+            refined=best,
+            initial_rank=initial_rank,
+            algorithm=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            io=IOSnapshot(0, 0, 0, 0),
+            counters=counters,
+            degraded=True,
+        )

@@ -8,13 +8,25 @@ paper's methods by name.  It is the recommended entry point:
 >>> engine = WhyNotEngine(dataset)
 >>> answer = engine.answer(question, method="kcr")
 >>> answer.refined.describe(vocabulary)
+
+**Fault tolerance.**  Pass ``faults=FaultInjector(...)`` to attach a
+deterministic fault schedule to the storage layer (each index gets an
+independent fork, so injection replays identically regardless of build
+order).  Transient faults are absorbed by the buffer pool's retry
+loop; an *unrecoverable* fault mid-query (checksum mismatch, lost
+record, exhausted retries) quarantines the damaged index and re-routes
+the query through the index-free :class:`~repro.core.degraded.ScanFallback`
+— the caller gets an exact answer flagged ``degraded`` instead of an
+exception.  :meth:`WhyNotEngine.recover` rebuilds quarantined indexes
+from the authoritative in-memory dataset; :meth:`WhyNotEngine.health`
+reports quarantine state and scans live indexes for corruption.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, StorageError
 from ..index.kcr_tree import KcRTree
 from ..index.rtree import DEFAULT_CAPACITY
 from ..index.search import TopKSearcher
@@ -22,14 +34,16 @@ from ..index.setr_tree import SetRTree
 from ..model.objects import Dataset, SpatialObject
 from ..model.query import SpatialKeywordQuery, WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel, get_model
+from ..storage.faults import FaultInjector
 from .advanced import AdvancedAlgorithm
 from .alpha_refinement import AlphaRefinementAlgorithm, IntegratedAlgorithm
 from .approximate import ApproximateAlgorithm
 from .basic import BasicAlgorithm
+from .degraded import ScanFallback
 from .kcr_algorithm import KcRAlgorithm
 from .location_refinement import LocationRefinementAlgorithm
 from .parallel import ParallelAdvanced, ParallelKcR
-from .result import WhyNotAnswer
+from .result import FaultEvent, TopKOutcome, WhyNotAnswer
 
 __all__ = ["WhyNotEngine"]
 
@@ -45,6 +59,21 @@ METHODS = (
     "integrated",
 )
 
+#: Which index each method reads — the quarantine/degradation unit.
+#: ``approximate`` is strategy-dependent; see
+#: :meth:`WhyNotEngine._method_tree`.
+TREE_OF_METHOD: Dict[str, str] = {
+    "basic": "setr",
+    "advanced": "setr",
+    "alpha": "setr",
+    "location": "setr",
+    "parallel-advanced": "setr",
+    "kcr": "kcr",
+    "parallel-kcr": "kcr",
+    "integrated": "kcr",
+    "approximate": "kcr",
+}
+
 
 class WhyNotEngine:
     """Facade over the dataset, the indexes, and the five algorithms."""
@@ -56,23 +85,40 @@ class WhyNotEngine:
         capacity: int = DEFAULT_CAPACITY,
         similarity: str = "jaccard",
         buffer_fraction: Optional[float] = 0.25,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         """``buffer_fraction`` re-sizes each index's buffer pool to that
         fraction of the index's on-disk pages (min 32), preserving the
         paper's buffer-pressure ratio on scaled-down datasets; pass
-        ``None`` to keep the paper's absolute 4 MB buffer."""
+        ``None`` to keep the paper's absolute 4 MB buffer.
+        ``faults`` attaches a deterministic fault schedule: each index
+        gets an independent fork, and rebuilt indexes (after
+        :meth:`recover`) get fresh forks so recovery does not replay
+        the exact faults that broke them."""
         self.dataset = dataset
         self.capacity = capacity
         self.model: SimilarityModel = get_model(similarity)
         self.buffer_fraction = buffer_fraction
+        self.faults = faults
         self._setr: Optional[SetRTree] = None
         self._kcr: Optional[KcRTree] = None
+        self._quarantined: Dict[str, List[FaultEvent]] = {}
+        self._rebuilds: Dict[str, int] = {"setr": 0, "kcr": 0}
+        self._scan: Optional[ScanFallback] = None
 
     def _apply_buffer_policy(self, tree):
         if self.buffer_fraction is not None:
             pages = max(32, int(tree.buffer.total_pages * self.buffer_fraction))
             tree.resize_buffer(min(pages, tree.buffer.capacity_pages or pages))
         return tree
+
+    def _tree_faults(self, name: str) -> Optional[FaultInjector]:
+        """The fork driving one index's pager (fresh seed per rebuild)."""
+        if self.faults is None:
+            return None
+        generation = self._rebuilds[name]
+        label = name if generation == 0 else f"{name}:rebuild-{generation}"
+        return self.faults.fork(label)
 
     # ------------------------------------------------------------------
     # indexes
@@ -82,7 +128,11 @@ class WhyNotEngine:
         """The SetR-tree, built on first use."""
         if self._setr is None:
             self._setr = self._apply_buffer_policy(
-                SetRTree(self.dataset, capacity=self.capacity)
+                SetRTree(
+                    self.dataset,
+                    capacity=self.capacity,
+                    faults=self._tree_faults("setr"),
+                )
             )
         return self._setr
 
@@ -91,9 +141,89 @@ class WhyNotEngine:
         """The KcR-tree, built on first use."""
         if self._kcr is None:
             self._kcr = self._apply_buffer_policy(
-                KcRTree(self.dataset, capacity=self.capacity)
+                KcRTree(
+                    self.dataset,
+                    capacity=self.capacity,
+                    faults=self._tree_faults("kcr"),
+                )
             )
         return self._kcr
+
+    @property
+    def scan_fallback(self) -> ScanFallback:
+        """The index-free exact fallback (shared, stateless)."""
+        if self._scan is None:
+            self._scan = ScanFallback(self.dataset, self.model)
+        return self._scan
+
+    # ------------------------------------------------------------------
+    # quarantine and recovery
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> Dict[str, Tuple[FaultEvent, ...]]:
+        """Quarantined index names mapped to the faults that broke them."""
+        return {name: tuple(events) for name, events in self._quarantined.items()}
+
+    def _quarantine(self, name: str, operation: str, exc: StorageError) -> None:
+        """Take an index out of service after an unrecoverable fault."""
+        event = FaultEvent(
+            tree=name,
+            operation=operation,
+            error=type(exc).__name__,
+            record_id=getattr(exc, "record_id", None),
+            detail=str(exc),
+        )
+        self._quarantined.setdefault(name, []).append(event)
+
+    def recover(self) -> Tuple[FaultEvent, ...]:
+        """Drop quarantined indexes for rebuild from the dataset.
+
+        The dataset is authoritative (indexes never own object data),
+        so recovery is a rebuild: quarantined trees are discarded and
+        lazily reconstructed on next use, with a *fresh* fault-injector
+        fork so the rebuilt tree does not replay the exact schedule
+        that broke it.  Returns the fault events that were cleared.
+        """
+        cleared = tuple(
+            event
+            for events in self._quarantined.values()
+            for event in events
+        )
+        for name in list(self._quarantined):
+            self._rebuilds[name] += 1
+            if name == "setr":
+                self._setr = None
+            else:
+                self._kcr = None
+        self._quarantined.clear()
+        return cleared
+
+    def health(self) -> Dict[str, Any]:
+        """Fault-tolerance status report.
+
+        Returns a dict with ``quarantined`` (index name -> fault
+        events), ``corruption`` (index name ->
+        :class:`~repro.analysis.sanitize.SanitizerReport` from a
+        corruption scan of each *live* built index, with one
+        ``quarantined-subtree`` violation per quarantine event), and
+        ``injector`` (the schedule's injection ledger, if any).
+        """
+        from ..analysis.sanitize import SanitizerReport, scan_corruption
+
+        corruption: Dict[str, Any] = {}
+        for name, tree in (("setr", self._setr), ("kcr", self._kcr)):
+            if name in self._quarantined:
+                report = SanitizerReport()
+                for event in self._quarantined[name]:
+                    report.add("quarantined-subtree", f"tree {name}", event.format())
+                corruption[name] = report
+            elif tree is not None:
+                corruption[name] = scan_corruption(tree)
+        return {
+            "quarantined": self.quarantined,
+            "corruption": corruption,
+            "injector": None if self.faults is None else self.faults.summary(),
+        }
 
     def reset_buffers(self) -> None:
         """Cold-start both indexes' buffer pools (between experiments)."""
@@ -109,21 +239,36 @@ class WhyNotEngine:
         already-built indexes receive a dynamic R-tree insertion with
         summary maintenance.  Brute-force oracles constructed from the
         dataset before the insert are snapshots and must be rebuilt.
+
+        An unrecoverable storage fault mid-insertion leaves that index
+        half-updated, so it is quarantined (the dataset, which is
+        authoritative, still gains the object); queries degrade to the
+        fallback until :meth:`recover` rebuilds the index.
         """
         self.dataset.add(obj)
-        if self._setr is not None:
-            self._setr.insert(obj)
-        if self._kcr is not None:
-            self._kcr.insert(obj)
+        self._mutate_tree("setr", f"insert:{obj.oid}", lambda t: t.insert(obj))
+        self._mutate_tree("kcr", f"insert:{obj.oid}", lambda t: t.insert(obj))
 
     def remove(self, oid: int) -> None:
-        """Remove an object from every built index and the dataset."""
+        """Remove an object from every built index and the dataset.
+
+        Like :meth:`insert`, a storage fault mid-deletion quarantines
+        the affected index instead of propagating.
+        """
         obj = self.dataset.get(oid)
-        if self._setr is not None:
-            self._setr.delete(obj)
-        if self._kcr is not None:
-            self._kcr.delete(obj)
+        self._mutate_tree("setr", f"remove:{oid}", lambda t: t.delete(obj))
+        self._mutate_tree("kcr", f"remove:{oid}", lambda t: t.delete(obj))
         self.dataset.remove(oid)
+
+    def _mutate_tree(self, name: str, operation: str, action: Any) -> None:
+        """Apply one mutation to a built, non-quarantined index."""
+        tree = self._setr if name == "setr" else self._kcr
+        if tree is None or name in self._quarantined:
+            return
+        try:
+            action(tree)
+        except StorageError as exc:
+            self._quarantine(name, operation, exc)
 
     def update_keywords(self, oid: int, keywords: Iterable[int]) -> None:
         """Replace an object's document (delete + reinsert).
@@ -142,8 +287,38 @@ class WhyNotEngine:
     # query execution
     # ------------------------------------------------------------------
     def top_k(self, query: SpatialKeywordQuery) -> List[Tuple[float, int]]:
-        """Run a plain spatial keyword top-k query (Definition 1)."""
-        return TopKSearcher(self.setr_tree, self.model).top_k(query)
+        """Run a plain spatial keyword top-k query (Definition 1).
+
+        Degradation-transparent: see :meth:`run_top_k` for the variant
+        that also reports whether the answer came from the fallback.
+        """
+        return self.run_top_k(query).results
+
+    def run_top_k(self, query: SpatialKeywordQuery) -> TopKOutcome:
+        """Top-k with an explicit fault-tolerance verdict.
+
+        Runs over the SetR-tree; on an unrecoverable storage fault the
+        index is quarantined and the query re-runs on the index-free
+        scan, yielding an exact but ``degraded``-flagged outcome.
+        """
+        if "setr" not in self._quarantined:
+            try:
+                return TopKOutcome(
+                    results=TopKSearcher(self.setr_tree, self.model).top_k(query)
+                )
+            except StorageError as exc:
+                self._quarantine("setr", "top_k", exc)
+        return TopKOutcome(
+            results=self.scan_fallback.top_k(query),
+            degraded=True,
+            events=tuple(self._quarantined["setr"]),
+        )
+
+    def _method_tree(self, method: str, options: Dict[str, Any]) -> str:
+        """Which index (quarantine unit) a method call will read."""
+        if method == "approximate":
+            return "kcr" if options.get("strategy", "kcr") == "kcr" else "setr"
+        return TREE_OF_METHOD.get(method, "setr")
 
     def answer(
         self,
@@ -160,7 +335,45 @@ class WhyNotEngine:
         (AdvancedBS; accepts ``early_stop``/``ordering``/``filtering``
         toggles via ``options``), ``kcr`` (KcRBased), ``approximate``
         (accepts ``strategy``), and the two ``parallel-*`` variants.
+
+        If the method's index is quarantined — or an unrecoverable
+        storage fault surfaces mid-query — the answer is recomputed by
+        the exact index-free fallback and returned flagged
+        ``degraded`` instead of raising.
         """
+        if method not in METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        tree_name = self._method_tree(method, options)
+        if tree_name in self._quarantined:
+            return self._degraded_answer(question, method, tree_name)
+        try:
+            return self._dispatch(
+                question, method, sample_size, n_threads, options
+            )
+        except StorageError as exc:
+            self._quarantine(tree_name, f"answer:{method}", exc)
+            return self._degraded_answer(question, method, tree_name)
+
+    def _degraded_answer(
+        self, question: WhyNotQuestion, method: str, tree_name: str
+    ) -> WhyNotAnswer:
+        """Exact fallback answer, flagged with the quarantine's faults."""
+        answer = self.scan_fallback.answer(question)
+        answer.algorithm = f"{method}/{ScanFallback.name}"
+        answer.fault_events = tuple(self._quarantined[tree_name])
+        return answer
+
+    def _dispatch(
+        self,
+        question: WhyNotQuestion,
+        method: str,
+        sample_size: int,
+        n_threads: int,
+        options: Dict[str, Any],
+    ) -> WhyNotAnswer:
+        """Route one question to the chosen algorithm (no fault handling)."""
         if method == "basic":
             return BasicAlgorithm(self.setr_tree, self.model).answer(question)
         if method == "advanced":

@@ -1,4 +1,14 @@
-"""Result types returned by the why-not algorithms."""
+"""Result types returned by the why-not algorithms.
+
+Besides the refined query itself, results carry the fault-tolerance
+verdict: :class:`FaultEvent` records one storage fault the engine
+survived, and the ``degraded`` flag on :class:`WhyNotAnswer` /
+:class:`TopKOutcome` marks answers produced by the index-free fallback
+while an index is quarantined.  A degraded answer is still *exact*
+(the fallback scans the authoritative in-memory dataset with the same
+score arithmetic), but it no longer reflects the paper's I/O profile —
+consumers comparing I/O metrics must skip flagged answers.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +19,13 @@ from ..data.vocabulary import Vocabulary
 from ..model.query import SpatialKeywordQuery
 from ..storage.stats import IOSnapshot
 
-__all__ = ["RefinedQuery", "WhyNotAnswer", "SearchCounters"]
+__all__ = [
+    "RefinedQuery",
+    "WhyNotAnswer",
+    "SearchCounters",
+    "FaultEvent",
+    "TopKOutcome",
+]
 
 KeywordSet = FrozenSet[int]
 
@@ -79,6 +95,43 @@ class SearchCounters:
         self.nodes_expanded += other.nodes_expanded
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One storage fault the engine survived (and how).
+
+    ``tree`` names the affected index (``"setr"`` / ``"kcr"``),
+    ``operation`` the engine call that hit the fault, ``error`` the
+    exception class name, ``record_id`` the damaged record when the
+    error carried one, and ``detail`` the human-readable message.
+    """
+
+    tree: str
+    operation: str
+    error: str
+    record_id: Optional[int]
+    detail: str
+
+    def format(self) -> str:
+        """One-line rendering for health reports and the chaos verb."""
+        rec = f" record={self.record_id}" if self.record_id is not None else ""
+        return f"[{self.tree}] {self.operation}: {self.error}{rec} — {self.detail}"
+
+
+@dataclass
+class TopKOutcome:
+    """A top-k result plus its fault-tolerance verdict.
+
+    ``results`` holds the usual ``(score, oid)`` pairs, best first.
+    ``degraded`` is True when the answer came from the index-free
+    dataset scan because the SetR-tree was (or just became)
+    quarantined; ``events`` then lists the faults that caused it.
+    """
+
+    results: List[Tuple[float, int]]
+    degraded: bool = False
+    events: Tuple[FaultEvent, ...] = ()
+
+
 @dataclass
 class WhyNotAnswer:
     """Full outcome of one why-not query.
@@ -87,6 +140,12 @@ class WhyNotAnswer:
     ``R(M, q)``; ``elapsed_seconds`` and ``io`` are the two metrics the
     paper's evaluation reports; ``counters`` carries the pruning
     telemetry; ``algorithm`` names the method that produced the answer.
+
+    ``degraded`` marks an answer computed by the index-free fallback
+    while the method's index was quarantined after an unrecoverable
+    storage fault; ``fault_events`` then records the faults involved.
+    Degraded answers carry a zero ``io`` snapshot — they must not be
+    mixed into the paper's I/O metrics.
     """
 
     refined: RefinedQuery
@@ -95,6 +154,8 @@ class WhyNotAnswer:
     elapsed_seconds: float
     io: IOSnapshot
     counters: SearchCounters = field(default_factory=SearchCounters)
+    degraded: bool = False
+    fault_events: Tuple[FaultEvent, ...] = ()
 
     @property
     def is_basic_refinement(self) -> bool:

@@ -5,28 +5,43 @@ benchmark workloads are reproducible across runs and machines without
 regenerating.  JSON keeps the format inspectable; the files involved
 are small (tens of thousands of objects), so compactness is not worth
 an opaque binary format.
+
+Saves are **crash-safe and checksummed**
+(:mod:`repro.storage.integrity`): the writer lands the bytes in a
+temporary file and atomically replaces the destination, and format
+version 2 embeds a CRC-32 of the canonical body.  The loader verifies
+the checksum, still accepts version-1 files (written before
+checksumming existed), and turns truncation / corruption / unknown
+versions into :class:`repro.errors.PersistenceError` with a recovery
+hint.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Tuple, Union
 
 from ..model.objects import Dataset, SpatialObject
+from ..storage.integrity import load_checked_json, save_checked_json
 from .vocabulary import Vocabulary
 
 __all__ = ["save_dataset", "load_dataset"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)  # v1 predates checksums; still loadable
+_CHECKSUM_REQUIRED_FROM = 2
 
 
 def save_dataset(
     dataset: Dataset, vocabulary: Vocabulary, path: Union[str, Path]
 ) -> None:
-    """Write a dataset and its vocabulary to ``path`` as JSON."""
-    payload = {
-        "format_version": _FORMAT_VERSION,
+    """Atomically write a dataset and its vocabulary to ``path``.
+
+    The file carries ``format_version`` and a CRC-32 ``checksum``; the
+    replace is atomic, so a crash mid-save leaves the previous complete
+    file rather than a torn one.
+    """
+    body = {
         "name": dataset.name,
         "diagonal": dataset.diagonal,
         "vocabulary": list(vocabulary.words),
@@ -35,15 +50,22 @@ def save_dataset(
             for obj in dataset
         ],
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    save_checked_json(path, body, version=_FORMAT_VERSION)
 
 
 def load_dataset(path: Union[str, Path]) -> Tuple[Dataset, Vocabulary]:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported dataset format version {version!r}")
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`repro.errors.PersistenceError` if the file is
+    missing, truncated, fails checksum verification, or declares a
+    format version this build does not read.
+    """
+    payload = load_checked_json(
+        path,
+        kind="dataset",
+        supported_versions=_SUPPORTED_VERSIONS,
+        checksum_required_from=_CHECKSUM_REQUIRED_FROM,
+    )
     vocabulary = Vocabulary(payload["vocabulary"])
     objects = [
         SpatialObject(

@@ -59,6 +59,65 @@ class StorageError(ReproError, RuntimeError):
     """A simulated-disk fault: unknown page id, double free, etc."""
 
 
+class TransientIOError(StorageError):
+    """A *retriable* storage fault: the page transfer failed this time.
+
+    Models the flaky-I/O class of disk errors (bus resets, momentary
+    controller timeouts).  :meth:`repro.storage.buffer_pool.BufferPool`
+    retries these with bounded deterministic backoff; one that escapes
+    the pool means the retry budget is exhausted and callers should
+    treat it as terminal for the current operation.
+    """
+
+
+class CorruptRecordError(StorageError):
+    """A record's payload no longer matches its stored checksum.
+
+    Terminal for the record: retrying cannot help (the bytes on the
+    simulated disk are wrong — bit-rot or a torn multi-page write).
+    ``record_id`` carries the damaged record so callers can quarantine
+    the subtree that references it.
+    """
+
+    def __init__(self, record_id: int, message: Optional[str] = None) -> None:
+        self.record_id = record_id
+        super().__init__(
+            message
+            or f"record {record_id} failed checksum verification "
+            "(bit-rot or torn write)"
+        )
+
+
+class RecordNotFoundError(StorageError, KeyError):
+    """A referenced record id does not exist on the simulated disk.
+
+    Raised instead of letting a raw ``KeyError`` leak out of
+    :meth:`repro.storage.pager.Pager.read`; ``record_id`` carries the
+    missing id.  Also a :class:`KeyError` subclass so legacy callers
+    catching that keep working.
+    """
+
+    def __init__(self, record_id: int, message: Optional[str] = None) -> None:
+        self.record_id = record_id
+        # KeyError repr-quotes its lone argument; go through the full
+        # MRO with an explicit message so str() stays readable.
+        super().__init__(message or f"unknown record id {record_id}")
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else "unknown record id"
+
+
+class PersistenceError(StorageError, ValueError):
+    """A saved dataset/index file is unreadable: truncated, corrupt,
+    or written by an unknown format version.
+
+    The message always ends with a recovery hint (restore from backup,
+    re-save from the in-memory structures, or upgrade the library).
+    Also a :class:`ValueError` subclass so legacy callers catching that
+    on format-version mismatches keep working.
+    """
+
+
 class IndexError_(ReproError, RuntimeError):
     """An index structure is malformed or used before being built.
 

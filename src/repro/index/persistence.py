@@ -17,17 +17,24 @@ JSON document and reconstructs an equivalent tree:
 The dataset itself is persisted separately
 (:func:`repro.data.io.save_dataset`); a saved index references objects
 by id and refuses to load against a dataset that is missing any.
+
+Index files share the crash-safe, checksummed persistence substrate
+(:mod:`repro.storage.integrity`): atomic temp-file + rename on save,
+CRC-32 body checksum from format version 2 on, and
+:class:`repro.errors.PersistenceError` with recovery hints on
+truncation, corruption, or unknown versions.  Version-1 files (no
+checksum) remain loadable.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Any, Dict, List, Tuple, Type, Union
 
 from ..errors import IndexStructureError
 from ..model.geometry import Rect, bounding_rect
 from ..model.objects import Dataset
+from ..storage.integrity import load_checked_json, save_checked_json
 from ..storage.layout import keyword_set_bytes, node_bytes
 from ..storage.packing import PackedWriter
 from .entries import ChildEntry, Node, ObjectEntry
@@ -37,7 +44,9 @@ from .setr_tree import SetRTree
 
 __all__ = ["save_index", "load_index"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)  # v1 predates checksums; still loadable
+_CHECKSUM_REQUIRED_FROM = 2
 
 _TREE_TYPES: Dict[str, Type[RTreeBase]] = {
     "setr": SetRTree,
@@ -73,16 +82,20 @@ def _serialise_node(tree: RTreeBase, node_id: int) -> Dict[str, Any]:
 
 
 def save_index(tree: RTreeBase, path: Union[str, Path]) -> None:
-    """Write a tree's logical structure to ``path`` as JSON."""
-    payload = {
-        "format_version": _FORMAT_VERSION,
+    """Atomically write a tree's logical structure to ``path``.
+
+    The file carries ``format_version`` and a CRC-32 ``checksum``; the
+    atomic replace means a crash mid-save can never leave a torn index
+    file behind.
+    """
+    body = {
         "tree_type": _type_name(tree),
         "capacity": tree.capacity,
         "dataset_name": tree.dataset.name,
         "n_objects": len(tree.dataset),
         "root": _serialise_node(tree, tree.root_id),
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    save_checked_json(path, body, version=_FORMAT_VERSION)
 
 
 class _StructureLoader:
@@ -91,7 +104,7 @@ class _StructureLoader:
     def __init__(self, tree: RTreeBase, dataset: Dataset) -> None:
         self.tree = tree
         self.dataset = dataset
-        self.doc_writer = PackedWriter(tree.buffer.pager)
+        self.doc_writer = PackedWriter(tree.buffer)
 
     def build(self, spec: Dict[str, Any]) -> Tuple[Rect, ChildEntry, TextSummary]:
         if spec["leaf"]:
@@ -160,13 +173,19 @@ def load_index(
     save; those are simply not indexed and can be :meth:`inserted
     <repro.index.rtree.RTreeBase.insert>` afterwards).
     """
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise IndexStructureError(f"unsupported index format version {version!r}")
+    payload = load_checked_json(
+        path,
+        kind="index",
+        supported_versions=_SUPPORTED_VERSIONS,
+        checksum_required_from=_CHECKSUM_REQUIRED_FROM,
+    )
     tree_cls = _TREE_TYPES.get(payload["tree_type"])
     if tree_cls is None:
-        raise IndexStructureError(f"unknown tree type {payload['tree_type']!r}")
+        raise IndexStructureError(
+            f"unknown tree type {payload['tree_type']!r} in saved index; "
+            f"this build reads {sorted(_TREE_TYPES)}. Re-save the index "
+            "with a supported tree type or upgrade the library."
+        )
 
     tree = tree_cls.__new__(tree_cls)  # bypass __init__'s bulk load
     tree._init_state(dataset, int(payload["capacity"]), **tree_kwargs)

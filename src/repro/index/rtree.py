@@ -27,6 +27,7 @@ from ..errors import IndexStructureError
 from ..model.geometry import Rect, bounding_rect
 from ..model.objects import Dataset, SpatialObject
 from ..storage.buffer_pool import DEFAULT_BUFFER_BYTES, BufferPool
+from ..storage.faults import FaultInjector
 from ..storage.layout import keyword_set_bytes, node_bytes
 from ..storage.packing import PackedWriter, SlotRef, fetch_slot
 from ..storage.pager import PAGE_SIZE
@@ -137,6 +138,9 @@ class RTreeBase:
     stats:
         Optional shared :class:`IOStatistics`; a fresh one is created
         when omitted.
+    faults:
+        Optional seeded :class:`~repro.storage.faults.FaultInjector`
+        attached to this tree's pager; ``None`` disables injection.
     """
 
     def __init__(
@@ -147,6 +151,7 @@ class RTreeBase:
         page_size: int = PAGE_SIZE,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         stats: Optional[IOStatistics] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if len(dataset) == 0:
             raise IndexStructureError("cannot build an index over an empty dataset")
@@ -156,6 +161,7 @@ class RTreeBase:
             page_size=page_size,
             buffer_bytes=buffer_bytes,
             stats=stats,
+            faults=faults,
         )
         self._build()
 
@@ -167,6 +173,7 @@ class RTreeBase:
         page_size: int = PAGE_SIZE,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         stats: Optional[IOStatistics] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         """Initialise storage and bookkeeping without bulk loading.
 
@@ -180,7 +187,10 @@ class RTreeBase:
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStatistics()
         self.buffer = BufferPool.create(
-            page_size=page_size, capacity_bytes=buffer_bytes, stats=self.stats
+            page_size=page_size,
+            capacity_bytes=buffer_bytes,
+            stats=self.stats,
+            faults=faults,
         )
         self.pager = self.buffer.pager  # storage-internal; I/O goes via buffer
         self.root_id: int = -1
@@ -220,7 +230,7 @@ class RTreeBase:
             (Rect.from_point(obj.loc), obj, TextSummary.of_object(obj))
             for obj in self.dataset
         ]
-        doc_writer = PackedWriter(self.buffer.pager)
+        doc_writer = PackedWriter(self.buffer)
         level = 0
         items: List[Tuple[Rect, Any, TextSummary]] = leaf_items
         is_leaf = True
@@ -373,7 +383,7 @@ class RTreeBase:
                 f"object {obj.oid} must be added to the dataset before "
                 "being inserted into the index"
             )
-        writer = PackedWriter(self.buffer.pager)
+        writer = PackedWriter(self.buffer)
         index = writer.add(obj.doc, keyword_set_bytes(len(obj.doc)))
         writer.flush()
         entry = ObjectEntry(oid=obj.oid, loc=obj.loc, doc_record=writer.ref(index))

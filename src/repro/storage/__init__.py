@@ -1,6 +1,27 @@
-"""Simulated disk substrate: pager, buffer pool, layout model, stats."""
+"""Simulated disk substrate: pager, buffer pool, layout model, stats,
+fault injection, and file-integrity helpers."""
 
-from .buffer_pool import DEFAULT_BUFFER_BYTES, BufferPool
+from .buffer_pool import (
+    BACKOFF_SCHEDULE,
+    DEFAULT_BUFFER_BYTES,
+    RETRY_LIMIT,
+    BufferPool,
+)
+from .faults import (
+    FAULTS_ENV_VAR,
+    FAULTS_SEED_ENV_VAR,
+    MIXED,
+    TRANSIENT_ONLY,
+    FaultInjector,
+    FaultSchedule,
+)
+from .integrity import (
+    atomic_write_text,
+    body_checksum,
+    load_checked_json,
+    record_stamp,
+    save_checked_json,
+)
 from .layout import (
     ENTRY_BYTES,
     NODE_HEADER_BYTES,
@@ -15,10 +36,23 @@ from .stats import IOSnapshot, IOStatistics
 __all__ = [
     "BufferPool",
     "DEFAULT_BUFFER_BYTES",
+    "RETRY_LIMIT",
+    "BACKOFF_SCHEDULE",
     "Pager",
     "PAGE_SIZE",
     "IOSnapshot",
     "IOStatistics",
+    "FaultInjector",
+    "FaultSchedule",
+    "TRANSIENT_ONLY",
+    "MIXED",
+    "FAULTS_ENV_VAR",
+    "FAULTS_SEED_ENV_VAR",
+    "record_stamp",
+    "body_checksum",
+    "atomic_write_text",
+    "save_checked_json",
+    "load_checked_json",
     "ENTRY_BYTES",
     "NODE_HEADER_BYTES",
     "node_bytes",

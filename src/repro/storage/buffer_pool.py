@@ -17,22 +17,46 @@ goes through :meth:`fetch` and every write through the
 :meth:`allocate` / :meth:`update` / :meth:`free` write-through methods
 (which keep the cache coherent by invalidating on mutation).  That
 discipline is what keeps the paper's VII-A1 I/O counters honest.
+
+The pool is also the **fault-tolerance boundary** of the storage
+layer: transient faults raised by the pager
+(:class:`~repro.errors.TransientIOError`) are retried here with a
+bounded, deterministic backoff schedule (:data:`RETRY_LIMIT` attempts,
+delays from :data:`BACKOFF_SCHEDULE`) on both the read and the
+write-through paths, with every retry counted in
+``IOStatistics.read_retries`` / ``write_retries``.  Terminal faults —
+checksum mismatches, lost records — pass through untouched; deciding
+what to do about those is the engine's job (quarantine + degradation),
+not the cache's.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, Callable, Optional, TypeVar
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientIOError
+from .faults import FaultInjector
 from .pager import PAGE_SIZE, Pager
 from .stats import IOStatistics
 
-__all__ = ["BufferPool", "DEFAULT_BUFFER_BYTES"]
+__all__ = ["BufferPool", "DEFAULT_BUFFER_BYTES", "RETRY_LIMIT", "BACKOFF_SCHEDULE"]
+
+_T = TypeVar("_T")
 
 DEFAULT_BUFFER_BYTES = 4 * 1024 * 1024
 """Default buffer size, matching the paper's 4 MB."""
+
+RETRY_LIMIT = 4
+"""Attempts per page transfer (1 initial + 3 retries).  One more than
+the injector's default consecutive-transient cap, so schedule-conform
+transients always recover deterministically."""
+
+BACKOFF_SCHEDULE = (0.0005, 0.001, 0.002)
+"""Seconds slept before retry *n* — a fixed doubling schedule rather
+than a jittered one, so fault runs replay identically."""
 
 
 class BufferPool:
@@ -67,14 +91,20 @@ class BufferPool:
         page_size: int = PAGE_SIZE,
         capacity_bytes: int = DEFAULT_BUFFER_BYTES,
         stats: Optional[IOStatistics] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> "BufferPool":
         """Build a pool over a fresh :class:`Pager` in one call.
 
         This is how code outside :mod:`repro.storage` obtains a storage
         substrate without ever constructing (and thus being tempted to
-        call) a :class:`Pager` directly.
+        call) a :class:`Pager` directly.  ``faults`` attaches a seeded
+        :class:`~repro.storage.faults.FaultInjector` to the fresh pager;
+        ``None`` (the default) leaves injection off entirely.
         """
-        return cls(Pager(page_size=page_size, stats=stats), capacity_bytes)
+        return cls(
+            Pager(page_size=page_size, stats=stats, faults=faults),
+            capacity_bytes,
+        )
 
     @property
     def stats(self) -> IOStatistics:
@@ -113,7 +143,10 @@ class BufferPool:
                 return self.pager.peek(record_id)
 
             self.miss_count += 1
-            payload = self.pager.read(record_id)  # charges the span
+            # charges the span on success; transient faults are retried
+            payload = self._retry(
+                "read_retries", lambda: self.pager.read(record_id)
+            )
             span = self.pager.span(record_id)
             if span <= self.capacity_pages:
                 self._make_room(span)
@@ -155,12 +188,17 @@ class BufferPool:
     # ------------------------------------------------------------------
     def allocate(self, payload: Any, nbytes: int) -> int:
         """Allocate a new record on the underlying pager (write I/O)."""
-        return self.pager.allocate(payload, nbytes)
+        return self._retry(
+            "write_retries", lambda: self.pager.allocate(payload, nbytes)
+        )
 
     def update(self, record_id: int, payload: Any, nbytes: int) -> None:
         """Overwrite a record and drop any cached copy of it."""
         with self._lock:
-            self.pager.update(record_id, payload, nbytes)
+            self._retry(
+                "write_retries",
+                lambda: self.pager.update(record_id, payload, nbytes),
+            )
             self.invalidate(record_id)
 
     def free(self, record_id: int) -> None:
@@ -182,6 +220,29 @@ class BufferPool:
         with self._lock:
             self._frames.clear()
             self._used_pages = 0
+
+    def _retry(self, counter: str, fn: Callable[[], _T]) -> _T:
+        """Run one page transfer, retrying transient faults.
+
+        At most :data:`RETRY_LIMIT` attempts, sleeping the fixed
+        :data:`BACKOFF_SCHEDULE` delay between them; each re-attempt
+        bumps ``stats.read_retries`` or ``stats.write_retries``.  The
+        final transient escapes as-is — by then the fault is effectively
+        terminal for this operation.  Non-transient storage errors
+        (corruption, missing records) are never retried.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientIOError:
+                attempt += 1
+                if attempt >= RETRY_LIMIT:
+                    raise
+                setattr(
+                    self.stats, counter, getattr(self.stats, counter) + 1
+                )
+                time.sleep(BACKOFF_SCHEDULE[min(attempt - 1, len(BACKOFF_SCHEDULE) - 1)])
 
     def _make_room(self, span: int) -> None:
         while self._used_pages + span > self.capacity_pages and self._frames:

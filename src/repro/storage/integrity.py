@@ -1,0 +1,180 @@
+"""Checksums and crash-safe file persistence.
+
+Two integrity surfaces share this module:
+
+* **Pager records.**  Every simulated-disk record carries a checksum
+  stamp, verified on every read.  Because record payloads are live
+  Python objects (serialisation is a byte-size model — see
+  :mod:`repro.storage.pager`), the checksum is likewise a *stamp
+  model*: a CRC of the record's identity, write sequence number, and
+  byte size, recomputed from the record's metadata at read time.
+  Injected corruption (bit-rot, torn writes) flips the *stored* stamp,
+  exactly as flipped payload bits would break a real content hash, and
+  verification catches it without ever producing the false positives a
+  content hash over aliased mutable objects would.
+
+* **Persisted JSON files.**  Dataset and index files get a real
+  content checksum (CRC-32 of the canonical JSON body) plus
+  crash-safe atomic replacement: the writer lands the bytes in a
+  temporary file in the same directory, flushes and fsyncs, then
+  ``os.replace``\\ s it over the destination — a crash at any point
+  leaves either the old complete file or the new complete file, never
+  a torn hybrid.  The loader detects truncation/partial writes (JSON
+  parse failure), checksum mismatches, and unknown format versions,
+  and raises :class:`repro.errors.PersistenceError` with a recovery
+  hint instead of a raw decoder traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Sequence, Union
+
+from ..errors import PersistenceError
+
+__all__ = [
+    "record_stamp",
+    "body_checksum",
+    "atomic_write_text",
+    "save_checked_json",
+    "load_checked_json",
+]
+
+PathLike = Union[str, Path]
+
+_CHECKSUM_KEY = "checksum"
+_VERSION_KEY = "format_version"
+
+
+# ----------------------------------------------------------------------
+# pager record stamps
+# ----------------------------------------------------------------------
+def record_stamp(record_id: int, write_seq: int, nbytes: int) -> int:
+    """Checksum stamp for one pager record write.
+
+    Deterministic in (record id, write sequence, size) so a re-read of
+    an intact record always re-derives the stored value, and any two
+    distinct writes of the same record stamp differently.
+    """
+    return zlib.crc32(f"{record_id}:{write_seq}:{nbytes}".encode("ascii"))
+
+
+# ----------------------------------------------------------------------
+# file-level checksummed JSON
+# ----------------------------------------------------------------------
+def body_checksum(body: Dict[str, Any]) -> int:
+    """CRC-32 of the canonical JSON encoding of ``body``.
+
+    ``body`` must exclude the checksum field itself; keys are sorted so
+    the value is independent of dict insertion order.
+    """
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` via temp-file + fsync + ``os.replace``.
+
+    The temporary file lives in the destination directory (rename is
+    only atomic within a filesystem) and is removed on failure, so a
+    crash never leaves a half-written destination or a stray temp.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def save_checked_json(
+    path: PathLike, body: Dict[str, Any], *, version: int
+) -> None:
+    """Atomically persist ``body`` with format version and checksum."""
+    payload = dict(body)
+    payload[_VERSION_KEY] = version
+    payload[_CHECKSUM_KEY] = body_checksum(
+        {k: v for k, v in payload.items() if k != _CHECKSUM_KEY}
+    )
+    atomic_write_text(path, json.dumps(payload))
+
+
+def load_checked_json(
+    path: PathLike,
+    *,
+    kind: str,
+    supported_versions: Sequence[int],
+    checksum_required_from: int,
+) -> Dict[str, Any]:
+    """Load a checksummed JSON document, verifying integrity.
+
+    ``kind`` names the artifact ("dataset", "index") in error messages.
+    Versions below ``checksum_required_from`` predate checksumming and
+    are accepted without one (legacy files stay loadable).  Raises
+    :class:`PersistenceError` with a recovery hint on truncation,
+    version mismatch, or checksum mismatch.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise PersistenceError(
+            f"{kind} file {target} does not exist; "
+            "check the path or re-save the artifact"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(
+            f"{kind} file {target} is not valid JSON ({exc.msg} at "
+            f"line {exc.lineno}): the file is truncated or was torn by a "
+            "crash mid-write. Recovery: restore from backup or re-save "
+            "from the in-memory structures (saves are atomic, so this "
+            "file predates the atomic writer or was edited by hand)."
+        ) from None
+    if not isinstance(payload, dict):
+        raise PersistenceError(
+            f"{kind} file {target} does not hold a JSON object; "
+            "it was not written by this library. Recovery: re-save."
+        )
+    version = payload.get(_VERSION_KEY)
+    if version not in supported_versions:
+        raise PersistenceError(
+            f"{kind} file {target} has unsupported format version "
+            f"{version!r}; this build reads versions "
+            f"{sorted(supported_versions)}. Recovery: re-save with this "
+            "library version, or upgrade the library to one that reads "
+            f"version {version!r}."
+        )
+    stored = payload.get(_CHECKSUM_KEY)
+    if stored is None:
+        if version >= checksum_required_from:
+            raise PersistenceError(
+                f"{kind} file {target} (format version {version}) is "
+                "missing its checksum field; the file was tampered with "
+                "or truncated at the tail. Recovery: restore from backup "
+                "or re-save."
+            )
+        return payload
+    actual = body_checksum(
+        {k: v for k, v in payload.items() if k != _CHECKSUM_KEY}
+    )
+    if stored != actual:
+        raise PersistenceError(
+            f"{kind} file {target} failed checksum verification "
+            f"(stored {stored}, computed {actual}): the payload was "
+            "corrupted after writing. Recovery: restore from backup or "
+            "re-save from the in-memory structures."
+        )
+    return payload

@@ -18,13 +18,19 @@ which is precisely the locality a slotted page gives on real disks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import StorageError
 from .buffer_pool import BufferPool
 from .pager import Pager
 
 __all__ = ["SlotRef", "PackedWriter", "fetch_slot"]
+
+#: What :class:`PackedWriter` writes through — only ``page_size`` and
+#: ``allocate`` are used, which both expose identically.  Index code
+#: hands in the :class:`BufferPool` so packed page writes get the
+#: pool's transient-fault retry protection.
+PackStore = Union[Pager, BufferPool]
 
 
 @dataclass(frozen=True)
@@ -38,8 +44,8 @@ class SlotRef:
 class PackedWriter:
     """Accumulates small payloads into shared pages."""
 
-    def __init__(self, pager: Pager) -> None:
-        self.pager = pager
+    def __init__(self, store: PackStore) -> None:
+        self.store = store
         self._payloads: List[Any] = []
         self._sizes: List[int] = []
         self._pending: List[int] = []  # bytes per pending payload
@@ -50,12 +56,12 @@ class PackedWriter:
         """Queue a payload; returns its index for post-flush resolution."""
         if nbytes < 0:
             raise StorageError(f"record size must be non-negative, got {nbytes}")
-        if nbytes > self.pager.page_size:
+        if nbytes > self.store.page_size:
             raise StorageError(
                 f"packed records must fit in one page "
-                f"({nbytes} > {self.pager.page_size}); allocate directly instead"
+                f"({nbytes} > {self.store.page_size}); allocate directly instead"
             )
-        if self._pending_bytes + nbytes > self.pager.page_size and self._payloads:
+        if self._pending_bytes + nbytes > self.store.page_size and self._payloads:
             self._flush_page()
         index = len(self._refs)
         self._refs.append(None)
@@ -77,7 +83,7 @@ class PackedWriter:
 
     def _flush_page(self) -> None:
         slots = [payload for _, payload in self._payloads]
-        record_id = self.pager.allocate(tuple(slots), self._pending_bytes)
+        record_id = self.store.allocate(tuple(slots), self._pending_bytes)
         for slot, (index, _) in enumerate(self._payloads):
             self._refs[index] = SlotRef(record=record_id, slot=slot)
         self._payloads = []

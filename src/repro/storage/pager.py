@@ -13,6 +13,18 @@ encoding, because only the page count affects the reproduced metric.
 The keyword payloads of SetR-tree/KcR-tree nodes, which the paper
 stores "sequentially on disk to reduce the number of disk seeks", are
 separate records whose spans reflect their set sizes.
+
+**Integrity and faults.**  Every record carries a checksum stamp
+(:func:`repro.storage.integrity.record_stamp` — a write-sequence CRC,
+for the same reason serialisation is a size model) that is verified on
+every :meth:`Pager.read` and :meth:`Pager.peek`; a mismatch raises
+:class:`repro.errors.CorruptRecordError`.  An optional
+:class:`~repro.storage.faults.FaultInjector` is consulted on every
+read and write and can fail the transfer transiently
+(:class:`~repro.errors.TransientIOError`), rot or lose the record, or
+tear a multi-page write — all deterministically from its seed.  With
+no injector attached the fault hooks are skipped entirely, so the
+fault-free I/O counts are bit-identical to the pre-fault-layer ones.
 """
 
 from __future__ import annotations
@@ -21,7 +33,14 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..errors import StorageError
+from ..errors import (
+    CorruptRecordError,
+    RecordNotFoundError,
+    StorageError,
+    TransientIOError,
+)
+from .faults import FaultInjector
+from .integrity import record_stamp
 from .stats import IOStatistics
 
 __all__ = ["Pager", "PAGE_SIZE"]
@@ -35,6 +54,8 @@ class _Record:
     payload: Any
     nbytes: int
     span: int  # number of consecutive pages occupied
+    checksum: int = 0  # stamp the payload bytes should hash to
+    stored_checksum: int = 0  # stamp the "disk bytes" actually hash to
 
 
 class Pager:
@@ -47,17 +68,26 @@ class Pager:
     stats:
         Shared counter object.  A buffer pool wrapping this pager must
         use the same instance so hits and misses land in one place.
+    faults:
+        Optional :class:`~repro.storage.faults.FaultInjector` consulted
+        on every read/write; ``None`` (the default) disables injection
+        and all fault branches.
     """
 
     def __init__(
-        self, page_size: int = PAGE_SIZE, stats: Optional[IOStatistics] = None
+        self,
+        page_size: int = PAGE_SIZE,
+        stats: Optional[IOStatistics] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if page_size <= 0:
             raise StorageError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStatistics()
+        self.faults = faults
         self._records: Dict[int, _Record] = {}
         self._next_id = 0
+        self._write_seq = 0
 
     # ------------------------------------------------------------------
     # allocation
@@ -73,17 +103,22 @@ class Pager:
             raise StorageError(f"record size must be non-negative, got {nbytes}")
         span = max(1, math.ceil(nbytes / self.page_size))
         record_id = self._next_id
+        # A transiently failed allocation consumes no id: the write
+        # never reached the disk, so the caller's retry re-lands on the
+        # same record id and the fault stays invisible once retried.
+        self._fault_write(record_id, span)
         self._next_id += 1
-        self._records[record_id] = _Record(payload=payload, nbytes=nbytes, span=span)
+        self._records[record_id] = self._stamped(record_id, payload, nbytes, span)
         self.stats.page_writes += span
         return record_id
 
     def update(self, record_id: int, payload: Any, nbytes: int) -> None:
         """Overwrite an existing record in place (re-spanned, re-charged)."""
         if record_id not in self._records:
-            raise StorageError(f"unknown record id {record_id}")
+            raise RecordNotFoundError(record_id)
         span = max(1, math.ceil(nbytes / self.page_size))
-        self._records[record_id] = _Record(payload=payload, nbytes=nbytes, span=span)
+        self._fault_write(record_id, span)
+        self._records[record_id] = self._stamped(record_id, payload, nbytes, span)
         self.stats.page_writes += span
 
     def free(self, record_id: int) -> None:
@@ -95,8 +130,32 @@ class Pager:
     # access
     # ------------------------------------------------------------------
     def read(self, record_id: int) -> Any:
-        """Read a record straight from "disk", charging its full span."""
+        """Read a record straight from "disk", charging its full span.
+
+        Order of hazards mirrors a real device: the record must exist
+        (:class:`RecordNotFoundError`), the transfer must succeed
+        (:class:`TransientIOError`, retriable), and the payload must
+        verify against its checksum (:class:`CorruptRecordError`,
+        terminal).  Successful reads charge the span; failed transfers
+        charge nothing, so fault-free runs count identically.
+        """
         record = self._get(record_id)
+        if self.faults is not None:
+            action = self.faults.on_read(record_id)
+            if action == "transient":
+                self.stats.transient_faults += 1
+                raise TransientIOError(
+                    f"transient read fault on record {record_id}"
+                )
+            if action == "rot":
+                record.stored_checksum = record.checksum ^ 0xFFFFFFFF
+            elif action == "lose":
+                del self._records[record_id]
+                self.stats.lost_records += 1
+                raise RecordNotFoundError(
+                    record_id, f"record {record_id} lost (injected fault)"
+                )
+        self._verify(record_id, record)
         self.stats.page_reads += record.span
         return record.payload
 
@@ -109,14 +168,64 @@ class Pager:
 
         For assertions and debugging only; algorithms must go through
         :meth:`read` or a buffer pool so the metrics stay honest.
+        Verifies the checksum (the sanitizer relies on that to spot
+        corrupt records) but never consults the fault injector, so
+        diagnostic walks do not perturb a seeded fault schedule.
         """
-        return self._get(record_id).payload
+        record = self._get(record_id)
+        self._verify(record_id, record)
+        return record.payload
+
+    def verify(self, record_id: int) -> bool:
+        """Whether the record exists and passes checksum verification."""
+        record = self._records.get(record_id)
+        return record is not None and record.stored_checksum == record.checksum
 
     def _get(self, record_id: int) -> _Record:
         try:
             return self._records[record_id]
         except KeyError:
-            raise StorageError(f"unknown record id {record_id}") from None
+            raise RecordNotFoundError(record_id) from None
+
+    def _verify(self, record_id: int, record: _Record) -> None:
+        if record.stored_checksum != record.checksum:
+            self.stats.checksum_failures += 1
+            raise CorruptRecordError(record_id)
+
+    def _stamped(
+        self, record_id: int, payload: Any, nbytes: int, span: int
+    ) -> _Record:
+        """Build a freshly written record with matching checksum stamps."""
+        self._write_seq += 1
+        stamp = record_stamp(record_id, self._write_seq, nbytes)
+        stored = stamp
+        if self._torn_write:
+            # The tail pages of the record never hit the disk; the
+            # stored bytes hash to something else entirely.
+            stored = stamp ^ 0xFFFFFFFF
+            self._torn_write = False
+        return _Record(
+            payload=payload,
+            nbytes=nbytes,
+            span=span,
+            checksum=stamp,
+            stored_checksum=stored,
+        )
+
+    _torn_write = False  # set by _fault_write for the write in flight
+
+    def _fault_write(self, record_id: int, span: int) -> None:
+        """Consult the injector for one write; may raise or arm a tear."""
+        if self.faults is None:
+            return
+        action = self.faults.on_write(record_id, span)
+        if action == "transient":
+            self.stats.transient_faults += 1
+            raise TransientIOError(
+                f"transient write fault on record {record_id}"
+            )
+        if action == "torn":
+            self._torn_write = True
 
     # ------------------------------------------------------------------
     # introspection

@@ -4,6 +4,12 @@ The paper's evaluation reports two metrics: query time and "the number
 of I/Os" (Section VII-A1).  :class:`IOStatistics` is the single
 counter object the storage layer feeds; the experiment harness
 snapshots it around each why-not query.
+
+The fault-tolerance layer adds a second family of counters — retries,
+transient faults, checksum failures, lost records — kept separate from
+the page counters so the paper's I/O metric stays exactly what it was:
+a retried read that eventually succeeds charges its pages once, and a
+failed transfer charges nothing.
 """
 
 from __future__ import annotations
@@ -21,6 +27,11 @@ class IOSnapshot:
     page_writes: int
     buffer_hits: int
     node_fetches: int
+    read_retries: int = 0
+    write_retries: int = 0
+    transient_faults: int = 0
+    checksum_failures: int = 0
+    lost_records: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -28,6 +39,11 @@ class IOSnapshot:
             page_writes=self.page_writes - other.page_writes,
             buffer_hits=self.buffer_hits - other.buffer_hits,
             node_fetches=self.node_fetches - other.node_fetches,
+            read_retries=self.read_retries - other.read_retries,
+            write_retries=self.write_retries - other.write_retries,
+            transient_faults=self.transient_faults - other.transient_faults,
+            checksum_failures=self.checksum_failures - other.checksum_failures,
+            lost_records=self.lost_records - other.lost_records,
         )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
@@ -36,12 +52,23 @@ class IOSnapshot:
             page_writes=self.page_writes + other.page_writes,
             buffer_hits=self.buffer_hits + other.buffer_hits,
             node_fetches=self.node_fetches + other.node_fetches,
+            read_retries=self.read_retries + other.read_retries,
+            write_retries=self.write_retries + other.write_retries,
+            transient_faults=self.transient_faults + other.transient_faults,
+            checksum_failures=self.checksum_failures + other.checksum_failures,
+            lost_records=self.lost_records + other.lost_records,
         )
 
     @property
     def total_ios(self) -> int:
         """Page reads plus writes — the paper's "number of I/Os"."""
         return self.page_reads + self.page_writes
+
+    @property
+    def total_faults(self) -> int:
+        """Faults *detected* at this snapshot (injection counts live on
+        the :class:`~repro.storage.faults.FaultInjector`)."""
+        return self.transient_faults + self.checksum_failures + self.lost_records
 
 
 @dataclass
@@ -53,12 +80,23 @@ class IOStatistics:
     the buffer pool; ``node_fetches`` counts logical node accesses
     regardless of caching (useful for algorithmic comparisons that
     should not depend on buffer luck).
+
+    Fault-layer counters: ``read_retries``/``write_retries`` count
+    buffer-pool retry attempts after transient faults;
+    ``transient_faults`` counts the transient errors the pager raised;
+    ``checksum_failures`` counts reads that failed verification;
+    ``lost_records`` counts records that vanished from the disk.
     """
 
     page_reads: int = 0
     page_writes: int = 0
     buffer_hits: int = 0
     node_fetches: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    transient_faults: int = 0
+    checksum_failures: int = 0
+    lost_records: int = 0
 
     def snapshot(self) -> IOSnapshot:
         """Immutable copy of the counters (subtract pairs for deltas)."""
@@ -67,6 +105,11 @@ class IOStatistics:
             page_writes=self.page_writes,
             buffer_hits=self.buffer_hits,
             node_fetches=self.node_fetches,
+            read_retries=self.read_retries,
+            write_retries=self.write_retries,
+            transient_faults=self.transient_faults,
+            checksum_failures=self.checksum_failures,
+            lost_records=self.lost_records,
         )
 
     def reset(self) -> None:
@@ -75,6 +118,11 @@ class IOStatistics:
         self.page_writes = 0
         self.buffer_hits = 0
         self.node_fetches = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.transient_faults = 0
+        self.checksum_failures = 0
+        self.lost_records = 0
 
     @property
     def total_ios(self) -> int:

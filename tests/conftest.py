@@ -54,6 +54,42 @@ def _sanitize_built_trees():
         RTreeBase._build = original_build
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _inject_storage_faults():
+    """Opt-in chaos mode: ``REPRO_FAULTS=1 pytest ...``.
+
+    When ``REPRO_FAULTS`` selects a schedule (see
+    :func:`repro.storage.FaultInjector.from_env`), every buffer pool
+    created anywhere in the suite without an explicit injector gets a
+    deterministic fork of one root injector, so the whole suite runs
+    against faulty storage.  With the default ``transient`` preset the
+    pool's bounded retries absorb every fault and the suite must pass
+    unchanged; harsher presets exercise the degraded paths.  Pools
+    built with ``faults=...`` (the fault tests themselves) keep their
+    own injectors.
+    """
+    from repro.storage.faults import FaultInjector
+
+    root = FaultInjector.from_env()
+    if root is None:
+        yield
+        return
+    from repro.storage.buffer_pool import BufferPool
+
+    original_create = BufferPool.create.__func__
+
+    def faulted_create(cls, **kwargs):
+        if kwargs.get("faults") is None:
+            kwargs["faults"] = root.fork_fresh()
+        return original_create(cls, **kwargs)
+
+    BufferPool.create = classmethod(faulted_create)
+    try:
+        yield
+    finally:
+        BufferPool.create = classmethod(original_create)
+
+
 @pytest.fixture(scope="session")
 def micro():
     """The paper's Fig 1 / Table I four-object example."""

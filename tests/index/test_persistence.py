@@ -101,9 +101,11 @@ class TestRoundTrip:
 
 class TestErrors:
     def test_bad_version(self, dataset, tmp_path):
+        from repro import PersistenceError
+
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"format_version": 99}), encoding="utf-8")
-        with pytest.raises(IndexStructureError):
+        with pytest.raises(PersistenceError):
             load_index(path, dataset)
 
     def test_unknown_tree_type(self, dataset, tmp_path):

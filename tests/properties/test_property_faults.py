@@ -1,0 +1,462 @@
+"""Property tests for the fault-injection and fault-tolerance layer.
+
+Three families of guarantees:
+
+* **Determinism** — a seeded :class:`FaultInjector` (and its forks)
+  replays identically, and a no-op schedule leaves the I/O counters
+  bit-identical to running with no injector at all.
+* **Containment** — transient faults are absorbed by the buffer pool's
+  bounded retries (and accounted for), unrecoverable damage surfaces
+  only as typed ``repro.errors`` exceptions, and the engine's degraded
+  answers still match the fault-free baseline exactly.
+* **Persistence integrity** — checksummed atomic saves round-trip, and
+  truncation, tampering, and unknown versions all raise
+  :class:`PersistenceError` rather than yielding silent garbage.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BufferPool,
+    CorruptRecordError,
+    FaultInjector,
+    FaultSchedule,
+    MIXED,
+    Pager,
+    PersistenceError,
+    RecordNotFoundError,
+    SpatialKeywordQuery,
+    StorageError,
+    TRANSIENT_ONLY,
+    TransientIOError,
+    WhyNotEngine,
+    WhyNotQuestion,
+    load_dataset,
+    load_index,
+    make_euro_like,
+    save_dataset,
+    save_index,
+)
+from repro.analysis import CORRUPTION_KINDS, scan_corruption
+from repro.errors import ReproError
+from repro.storage import RETRY_LIMIT
+from repro.storage.integrity import load_checked_json, save_checked_json
+
+
+# ----------------------------------------------------------------------
+# schedules and injectors
+# ----------------------------------------------------------------------
+def test_schedule_validation():
+    with pytest.raises(StorageError):
+        FaultSchedule(transient_read_rate=1.5)
+    with pytest.raises(StorageError):
+        FaultSchedule(bit_rot_rate=-0.1)
+    with pytest.raises(StorageError):
+        FaultSchedule(max_consecutive_transients=0)
+    with pytest.raises(StorageError):
+        TRANSIENT_ONLY.scaled(-1.0)
+
+
+def test_schedule_composition_and_scaling():
+    combined = TRANSIENT_ONLY | MIXED
+    assert combined.transient_read_rate == pytest.approx(
+        TRANSIENT_ONLY.transient_read_rate + MIXED.transient_read_rate
+    )
+    assert combined.bit_rot_rate == MIXED.bit_rot_rate
+    assert FaultSchedule().is_noop
+    assert not MIXED.is_noop
+    doubled = MIXED.scaled(2.0)
+    assert doubled.torn_write_rate == pytest.approx(2 * MIXED.torn_write_rate)
+    assert MIXED.scaled(0.0).is_noop
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_injector_replay_is_deterministic(seed):
+    def drive(injector):
+        return [injector.on_read(i % 5) for i in range(50)] + [
+            injector.on_write(i % 5, 1) for i in range(50)
+        ]
+
+    a = FaultInjector(MIXED.scaled(30.0), seed=seed)
+    b = FaultInjector(MIXED.scaled(30.0), seed=seed)
+    assert drive(a) == drive(b)
+    assert a.summary() == b.summary()
+    # Forks with the same label replay identically too.
+    assert drive(a.fork("x")) == drive(b.fork("x"))
+
+
+def test_summary_aggregates_forks():
+    root = FaultInjector(FaultSchedule(transient_read_rate=1.0), seed=3)
+    child = root.fork("c")
+    for i in range(4):
+        child.on_read(i)  # distinct records: consecutive cap never binds
+    assert root.transients_injected == 0
+    assert root.summary()["transients_injected"] == child.transients_injected > 0
+
+
+def test_from_env_presets_and_specs():
+    assert FaultInjector.from_env({}) is None
+    assert FaultInjector.from_env({"REPRO_FAULTS": "0"}) is None
+    assert FaultInjector.from_env({"REPRO_FAULTS": "1"}).schedule == TRANSIENT_ONLY
+    assert FaultInjector.from_env({"REPRO_FAULTS": "mixed"}).schedule == MIXED
+    seeded = FaultInjector.from_env(
+        {"REPRO_FAULTS": "transient", "REPRO_FAULTS_SEED": "99"}
+    )
+    assert seeded.seed == 99
+    spec = FaultInjector.from_env(
+        {"REPRO_FAULTS": "read=0.5,rot=0.01,consecutive=3,seed=5"}
+    )
+    assert spec.schedule.transient_read_rate == 0.5
+    assert spec.schedule.bit_rot_rate == 0.01
+    assert spec.schedule.max_consecutive_transients == 3
+    assert spec.seed == 5
+    with pytest.raises(StorageError):
+        FaultInjector.from_env({"REPRO_FAULTS": "bogus=1"})
+    with pytest.raises(StorageError):
+        FaultInjector.from_env({"REPRO_FAULTS": "read0.5"})
+
+
+# ----------------------------------------------------------------------
+# pager: checksums and typed errors
+# ----------------------------------------------------------------------
+def test_checksum_round_trip_and_rot_detection():
+    pager = Pager()
+    rid = pager.allocate({"n": 1}, 100)
+    assert pager.verify(rid)
+    assert pager.read(rid) == {"n": 1}
+    pager.update(rid, {"n": 2}, 100)
+    assert pager.verify(rid)
+    assert pager.read(rid) == {"n": 2}
+    # Simulate bit rot the way the injector does: flip the stored stamp.
+    pager._records[rid].stored_checksum ^= 0xFFFFFFFF
+    assert not pager.verify(rid)
+    failures_before = pager.stats.checksum_failures
+    with pytest.raises(CorruptRecordError) as excinfo:
+        pager.read(rid)
+    assert excinfo.value.record_id == rid
+    with pytest.raises(CorruptRecordError):
+        pager.peek(rid)
+    assert pager.stats.checksum_failures == failures_before + 2
+
+
+def test_missing_record_raises_typed_error():
+    pager = Pager()
+    with pytest.raises(RecordNotFoundError) as excinfo:
+        pager.read(1234)
+    # Legacy compat: the typed error is both a StorageError and a KeyError.
+    assert isinstance(excinfo.value, StorageError)
+    assert isinstance(excinfo.value, KeyError)
+    assert excinfo.value.record_id == 1234
+    with pytest.raises(RecordNotFoundError):
+        BufferPool(Pager(), capacity_bytes=4096).fetch(7)
+
+
+def test_failed_reads_charge_no_io():
+    schedule = FaultSchedule(transient_read_rate=1.0, max_consecutive_transients=1)
+    pager = Pager(faults=FaultInjector(schedule, seed=1))
+    rid = pager.allocate("x", 10)
+    reads_before = pager.stats.page_reads
+    with pytest.raises(TransientIOError):
+        pager.read(rid)
+    assert pager.stats.page_reads == reads_before
+    assert pager.read(rid) == "x"  # cap=1: the retry succeeds
+    assert pager.stats.page_reads == reads_before + 1
+
+
+# ----------------------------------------------------------------------
+# buffer pool: bounded retries
+# ----------------------------------------------------------------------
+def test_retries_absorb_transients_and_are_accounted():
+    # Aggressive transient noise, but the consecutive cap (2) stays
+    # below RETRY_LIMIT, so no TransientIOError may escape the pool.
+    schedule = FaultSchedule(
+        transient_read_rate=0.5, transient_write_rate=0.5
+    )
+    injector = FaultInjector(schedule, seed=13)
+    pool = BufferPool.create(
+        page_size=4096, capacity_bytes=2 * 4096, faults=injector
+    )
+    stats = pool.stats
+    records = [pool.allocate(i, 4096) for i in range(20)]
+    for _ in range(5):
+        for rid in records:
+            assert pool.fetch(rid) == records.index(rid)
+    assert injector.transients_injected > 0
+    # Every transient the pager raised was absorbed by exactly one
+    # counted retry — both sides of the ledger agree.
+    assert (
+        stats.read_retries + stats.write_retries == stats.transient_faults
+    )
+    snapshot = stats.snapshot()
+    assert snapshot.read_retries == stats.read_retries
+    assert snapshot.write_retries == stats.write_retries
+
+
+def test_retry_limit_is_bounded():
+    # A record that faults more times in a row than the pool will
+    # retry: the error must escape as TransientIOError, not hang.
+    schedule = FaultSchedule(
+        transient_read_rate=1.0, max_consecutive_transients=RETRY_LIMIT + 5
+    )
+    pool = BufferPool.create(
+        page_size=4096,
+        capacity_bytes=4096,
+        faults=FaultInjector(schedule, seed=2),
+    )
+    rid = None
+    for _ in range(RETRY_LIMIT + 5):
+        try:
+            rid = pool.allocate("v", 10)
+            break
+        except TransientIOError:
+            continue
+    assert rid is not None, "allocation never landed"
+    retries_before = pool.stats.read_retries
+    with pytest.raises(TransientIOError):
+        pool.fetch(rid)
+    assert pool.stats.read_retries == retries_before + RETRY_LIMIT - 1
+
+
+# ----------------------------------------------------------------------
+# engine lifecycle under faults
+# ----------------------------------------------------------------------
+def _make_world():
+    """A small deterministic dataset plus a query workload over it."""
+    dataset, _ = make_euro_like(400, seed=11)
+    queries = []
+    for obj in dataset.objects[::17]:
+        doc = frozenset(list(obj.doc)[:3])
+        if len(doc) < 2:
+            continue
+        queries.append(
+            SpatialKeywordQuery(loc=obj.loc, doc=doc, k=5, alpha=0.5)
+        )
+        if len(queries) == 8:
+            break
+    return dataset, queries
+
+
+@pytest.fixture(scope="module")
+def fault_world():
+    """Read-only world: a fault-free baseline engine and its workload."""
+    dataset, queries = _make_world()
+    return dataset, WhyNotEngine(dataset), queries
+
+
+@pytest.mark.parametrize("seed", [7, 23, 101])
+def test_lifecycle_no_unflagged_deviations(seed):
+    """The core containment property, per ISSUE: under a seeded mixed
+    schedule, every query either succeeds on the index or degrades with
+    a flag — and in both cases the results match the fault-free
+    baseline exactly.  Only typed ``ReproError`` subclasses may escape.
+
+    Each engine gets its own (identical) dataset copy because
+    ``insert``/``remove`` mutate the dataset as well as the indexes.
+    """
+    dataset_a, queries = _make_world()
+    dataset_b, _ = _make_world()
+    baseline = WhyNotEngine(dataset_a)
+    injector = FaultInjector(MIXED.scaled(60.0), seed=seed)
+    chaotic = WhyNotEngine(dataset_b, faults=injector)
+    degraded_seen = 0
+    for round_no in range(3):
+        for query in queries:
+            expected = baseline.top_k(query)
+            try:
+                outcome = chaotic.run_top_k(query)
+            except ReproError as exc:  # typed, but still a crash here
+                pytest.fail(f"typed error escaped the engine: {exc!r}")
+            if outcome.degraded:
+                degraded_seen += 1
+                assert outcome.events, "degraded outcome carries no events"
+            assert outcome.results == expected, (
+                "results deviated from baseline "
+                f"(degraded={outcome.degraded}, round={round_no})"
+            )
+        # Mutations mid-lifecycle must not crash either: remove and
+        # re-insert one object on both sides, keeping the worlds equal.
+        oid = dataset_a.objects[round_no].oid
+        obj_a, obj_b = dataset_a.get(oid), dataset_b.get(oid)
+        baseline.remove(oid)
+        chaotic.remove(oid)
+        baseline.insert(obj_a)
+        chaotic.insert(obj_b)
+    assert degraded_seen > 0, "schedule too gentle: nothing degraded"
+    # health() must report the quarantine and the injection ledger.
+    health = chaotic.health()
+    assert health["injector"]["transients_injected"] >= 0
+    for name in chaotic.quarantined:
+        report = health["corruption"][name]
+        assert all(v.kind in CORRUPTION_KINDS for v in report.violations)
+
+
+def test_degraded_answers_match_baseline(fault_world):
+    dataset, baseline, queries = fault_world
+    chaotic = WhyNotEngine(
+        dataset, faults=FaultInjector(MIXED.scaled(60.0), seed=5)
+    )
+    checked = 0
+    for query in queries:
+        extended = baseline.top_k(query.with_k(21))
+        missing = extended[-1][1]
+        question = WhyNotQuestion(query, (missing,), lam=0.5)
+        expected = baseline.answer(question, method="kcr")
+        actual = chaotic.answer(question, method="kcr")
+        assert actual.refined.penalty == pytest.approx(
+            expected.refined.penalty, abs=1e-9
+        )
+        if actual.degraded:
+            assert actual.fault_events
+            assert actual.algorithm.endswith("/degraded-scan")
+        checked += 1
+    assert checked == len(queries)
+
+
+def test_recover_rebuilds_quarantined_trees(fault_world):
+    dataset, baseline, queries = fault_world
+    chaotic = WhyNotEngine(
+        dataset, faults=FaultInjector(MIXED.scaled(80.0), seed=9)
+    )
+    for _ in range(4):
+        for query in queries:
+            chaotic.run_top_k(query)
+        if chaotic.quarantined:
+            break
+    assert chaotic.quarantined, "schedule too gentle: nothing quarantined"
+    cleared = chaotic.recover()
+    assert cleared
+    assert not chaotic.quarantined
+    # Rebuilt trees answer correctly again (fresh fault forks mean the
+    # breaking schedule is not replayed verbatim, though new faults may
+    # still degrade flagged — never deviate).
+    for query in queries:
+        outcome = chaotic.run_top_k(query)
+        assert outcome.results == baseline.top_k(query)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FAULTS", "0") not in ("", "0"),
+    reason="suite-wide fault injection makes the baseline non-fault-free",
+)
+def test_noop_schedule_preserves_io_counts(fault_world):
+    """With a no-op schedule attached the fault machinery must not
+    perturb the reproduced metric: page/buffer counters bit-identical
+    to running with no injector at all."""
+    dataset, baseline, queries = fault_world
+    noop = WhyNotEngine(
+        dataset, faults=FaultInjector(FaultSchedule(), seed=7)
+    )
+    for query in queries:
+        baseline.reset_buffers()
+        noop.reset_buffers()
+        before_b = baseline.setr_tree.stats.snapshot()
+        before_n = noop.setr_tree.stats.snapshot()
+        expected = baseline.top_k(query)
+        assert noop.top_k(query) == expected
+        delta_b = baseline.setr_tree.stats.snapshot() - before_b
+        delta_n = noop.setr_tree.stats.snapshot() - before_n
+        assert delta_n == delta_b
+
+
+def test_scan_corruption_spots_injected_rot(fault_world):
+    dataset, _, _ = fault_world
+    engine = WhyNotEngine(dataset)
+    tree = engine.setr_tree
+    # Rot one live node record behind the sanitizer's back.
+    pager = tree.buffer.pager
+    rid = next(iter(pager._records))
+    pager._records[rid].stored_checksum ^= 0xFFFFFFFF
+    report = scan_corruption(tree)
+    assert report.violations
+    assert {v.kind for v in report.violations} <= CORRUPTION_KINDS
+
+
+# ----------------------------------------------------------------------
+# persistence: atomic, checksummed, versioned
+# ----------------------------------------------------------------------
+def test_checked_json_round_trip(tmp_path):
+    path = tmp_path / "doc.json"
+    save_checked_json(path, {"a": [1, 2, 3]}, version=2)
+    payload = load_checked_json(
+        path, kind="doc", supported_versions=(1, 2), checksum_required_from=2
+    )
+    assert payload["a"] == [1, 2, 3]
+    # No temp droppings from the atomic writer.
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+def test_truncated_file_is_rejected(tmp_path):
+    path = tmp_path / "doc.json"
+    save_checked_json(path, {"a": 1}, version=2)
+    text = path.read_text(encoding="utf-8")
+    path.write_text(text[: len(text) // 2], encoding="utf-8")
+    with pytest.raises(PersistenceError, match="truncated"):
+        load_checked_json(
+            path,
+            kind="doc",
+            supported_versions=(1, 2),
+            checksum_required_from=2,
+        )
+
+
+def test_tampered_file_fails_checksum(tmp_path):
+    path = tmp_path / "doc.json"
+    save_checked_json(path, {"a": 1}, version=2)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["a"] = 2  # tamper without re-stamping
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_checked_json(
+            path,
+            kind="doc",
+            supported_versions=(1, 2),
+            checksum_required_from=2,
+        )
+
+
+def test_legacy_version_loads_without_checksum(tmp_path):
+    path = tmp_path / "doc.json"
+    path.write_text(json.dumps({"a": 1, "format_version": 1}), encoding="utf-8")
+    payload = load_checked_json(
+        path, kind="doc", supported_versions=(1, 2), checksum_required_from=2
+    )
+    assert payload["a"] == 1
+    # ...but a checksumless v2 file is a torn tail.
+    path.write_text(json.dumps({"a": 1, "format_version": 2}), encoding="utf-8")
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_checked_json(
+            path,
+            kind="doc",
+            supported_versions=(1, 2),
+            checksum_required_from=2,
+        )
+
+
+def test_dataset_and_index_round_trip_checked(tmp_path):
+    dataset, vocabulary = make_euro_like(120, seed=3)
+    dpath = tmp_path / "data.json"
+    save_dataset(dataset, vocabulary, dpath)
+    loaded, vocab2 = load_dataset(dpath)
+    assert len(loaded) == len(dataset)
+    assert list(vocab2.words) == list(vocabulary.words)
+
+    engine = WhyNotEngine(dataset)
+    ipath = tmp_path / "index.json"
+    save_index(engine.setr_tree, ipath)
+    tree = load_index(ipath, dataset)
+    assert tree.height == engine.setr_tree.height
+    # Tampering with either file must be caught on load.
+    payload = json.loads(ipath.read_text(encoding="utf-8"))
+    payload["height"] = 99
+    ipath.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_index(ipath, dataset)
+    save_checked_json(dpath, {"x": 1}, version=3)
+    with pytest.raises(PersistenceError, match="unsupported format version"):
+        load_dataset(dpath)
