@@ -6,14 +6,31 @@ maintained exactly, and the penalty model (Eqn 4) misbehaves silently
 on float-equality edge cases.  This package guards both sides:
 
 * :mod:`repro.analysis.lint` — an AST-based rule engine with
-  repo-specific rules (float-literal equality, bare asserts, direct
-  ``Pager`` access, mutable defaults, missing public annotations,
-  stray ``print``).  CLI: ``repro-whynot lint <paths>``.
+  repo-specific rules (float-literal equality, bare asserts, mutable
+  defaults, missing public annotations, stray ``print``).
+  CLI: ``repro-whynot lint <paths>``.
+* :mod:`repro.analysis.flow` — whole-package interprocedural effect
+  inference (call graph in :mod:`repro.analysis.callgraph`, local
+  effects in :mod:`repro.analysis.effects`) enforcing the three
+  concurrency contracts: worker-read-only, io-through-pool (the
+  call-graph-aware successor of the old syntactic ``pager-access``
+  lint rule), and exception-safety on the quarantine path.
+  CLI: ``repro-whynot analyze``.
 * :mod:`repro.analysis.sanitize` — structural walkers validating
   R-tree/SetR-tree/KcR-tree invariants and buffer-pool accounting.
   CLI: ``repro-whynot check-invariants``.
 """
 
+from .flow import (
+    EFFECT_KINDS,
+    FlowAnalysis,
+    FlowConfig,
+    FlowReport,
+    Violation,
+    analyze_paths,
+    collect_waivers,
+    load_baseline,
+)
 from .lint import Finding, LintRule, Linter, lint_paths
 from .sanitize import (
     CORRUPTION_KINDS,
@@ -29,6 +46,14 @@ __all__ = [
     "LintRule",
     "Linter",
     "lint_paths",
+    "EFFECT_KINDS",
+    "FlowAnalysis",
+    "FlowConfig",
+    "FlowReport",
+    "Violation",
+    "analyze_paths",
+    "collect_waivers",
+    "load_baseline",
     "InvariantViolation",
     "SanitizerReport",
     "check_buffer_pool",

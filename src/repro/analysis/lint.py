@@ -250,6 +250,15 @@ class BareAssertRule(LintRule):
 class PagerAccessRule(LintRule):
     """All page I/O outside ``repro.storage`` must go through BufferPool.
 
+    .. deprecated::
+        Retired from :data:`DEFAULT_RULES` in favour of the call-graph
+        aware ``io-through-pool`` contract in
+        :mod:`repro.analysis.flow`, which sees through typed receivers
+        and helper indirection this syntactic rule cannot.  The class
+        stays importable for bespoke :class:`Linter` configurations,
+        and existing ``# lint: pager-access`` waivers are honoured by
+        the flow checker as an alias for ``io-through-pool``.
+
     Flags (outside :mod:`repro.storage`):
 
     * ``Pager(...)`` construction — use ``BufferPool.create(...)``;
@@ -435,10 +444,11 @@ class NoPrintRule(LintRule):
                 )
 
 
+# PagerAccessRule is intentionally absent: the call-graph-aware
+# io-through-pool contract (repro.analysis.flow) replaced it.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     FloatEqualityRule(),
     BareAssertRule(),
-    PagerAccessRule(),
     MutableDefaultRule(),
     PublicAnnotationRule(),
     NoPrintRule(),

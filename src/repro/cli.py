@@ -8,6 +8,7 @@ Subcommands::
     repro-whynot experiment all  [--scale default] [-o EXPERIMENTS_RESULTS.md]
     repro-whynot demo       [--size 2000 --seed 7]   # end-to-end example
     repro-whynot lint       src/repro [...]          # repo-specific AST lint
+    repro-whynot analyze    [src/repro] [--json]     # flow / contract checker
     repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
     repro-whynot chaos      [--seed 7 --queries 200] # fault-injection harness
 
@@ -194,6 +195,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(finding.format())
     print(f"{len(findings)} finding(s)")
     return 1 if findings else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the interprocedural flow/contract checker.
+
+    Exit codes: 0 = no new violations (waived and baselined findings
+    are reported but do not fail), 1 = new violations, 2 = bad usage.
+    """
+    import json as json_module
+
+    from .analysis import analyze_paths, load_baseline
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}")
+        return 2
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = analyze_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        payload = report.baseline_payload()
+        Path(args.write_baseline).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"baseline with {len(payload['violations'])} violation key(s) "
+            f"written to {args.write_baseline}"
+        )
+        return 0
+    if args.json:
+        print(report.to_json(include_signatures=args.signatures))
+    else:
+        print(report.format_text())
+    return 1 if report.blocking or report.errors else 0
 
 
 def _cmd_check_invariants(args: argparse.Namespace) -> int:
@@ -414,6 +449,35 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="+", help="files or directories to lint (e.g. src/repro)"
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="interprocedural effect inference + concurrency-contract "
+        "checker (repro.analysis.flow)",
+    )
+    p_analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    p_analyze.add_argument(
+        "--signatures",
+        action="store_true",
+        help="include per-function effect signatures in --json output",
+    )
+    p_analyze.add_argument(
+        "--baseline",
+        help="baseline file of known violation keys; only NEW violations fail",
+    )
+    p_analyze.add_argument(
+        "--write-baseline",
+        help="write the current unwaived violation keys to this file and exit",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_check = sub.add_parser(
         "check-invariants",

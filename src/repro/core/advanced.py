@@ -126,7 +126,7 @@ class AdvancedAlgorithm:
                 stop_limit=stop_limit if self.early_stop else None,
             )
             if cache is not None:
-                cache.add(result.dominators)
+                cache.record_dominators(result.dominators)
             if result.aborted:
                 counters.aborted_early += 1
                 continue

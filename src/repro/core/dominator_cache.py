@@ -13,11 +13,22 @@ the paper finds this the most effective optimization (Fig 11).
 Scoring cached objects is pure in-memory arithmetic on objects already
 retrieved by earlier searches, so it charges no I/O — exactly the
 paper's accounting.
+
+Concurrency
+-----------
+
+The cache is the one piece of state the Fig 10 parallel workers share
+*and* write.  All ingestion goes through :meth:`record_dominators`,
+the single lock-guarded mutable surface the flow checker's
+``worker-read-only`` contract sanctions (see DESIGN.md); reads snapshot
+the accumulated entries under the same lock so a counting pass never
+races a concurrent ingest.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+import threading
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..model.objects import Dataset, SpatialObject
 from ..model.query import SpatialKeywordQuery
@@ -42,6 +53,7 @@ class DominatorCache:
         self.query = query
         self.missing = tuple(missing)
         self.model = model
+        self._lock = threading.Lock()
         # oid -> (1 - SDist(o, q)); the spatial half of the score never
         # changes across candidates, so it is cached per object.
         self._spatial: Dict[int, float] = {}
@@ -51,10 +63,25 @@ class DominatorCache:
         ]
 
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._lock:
+            return len(self._docs)
+
+    def record_dominators(self, oids: Iterable[int]) -> None:
+        """Record dominators discovered by a processed search.
+
+        This is the sanctioned mutable surface for worker threads: the
+        ingest runs under the cache lock, so concurrent workers may
+        feed results as they finish.
+        """
+        with self._lock:
+            self._ingest(oids)
 
     def add(self, oids: Iterable[int]) -> None:
-        """Record dominators discovered by a processed search."""
+        """Alias for :meth:`record_dominators` (kept for callers that
+        predate the guarded surface)."""
+        self.record_dominators(oids)
+
+    def _ingest(self, oids: Iterable[int]) -> None:
         for oid in oids:
             if oid not in self._docs:
                 obj = self.dataset.get(oid)
@@ -69,7 +96,13 @@ class DominatorCache:
 
         "Dominate" means scoring strictly above the *minimum* missing
         object score — the object that determines ``R(M, q')``.
+        Entries are snapshotted under the lock, so the count is over a
+        consistent prefix of what concurrent workers have ingested.
         """
+        with self._lock:
+            entries: List[Tuple[float, KeywordSet]] = [
+                (self._spatial[oid], doc) for oid, doc in self._docs.items()
+            ]
         alpha = self.query.alpha
         beta = 1.0 - alpha
         threshold = min(
@@ -77,10 +110,8 @@ class DominatorCache:
             for spatial, m in zip(self._missing_spatial, self.missing)
         )
         count = 0
-        for oid, doc in self._docs.items():
-            score = alpha * self._spatial[oid] + beta * self.model.similarity(
-                doc, keywords
-            )
+        for spatial, doc in entries:
+            score = alpha * spatial + beta * self.model.similarity(doc, keywords)
             if score > threshold:
                 count += 1
                 if count >= limit:

@@ -32,6 +32,7 @@ from ..model.query import WhyNotQuestion
 from ..model.similarity import JACCARD, SimilarityModel
 from .candidates import Candidate
 from .context import QuestionContext
+from .dominator_cache import DominatorCache
 from .kcr_algorithm import KcRAlgorithm
 from .penalty import PenaltyModel
 from .result import RefinedQuery, SearchCounters, WhyNotAnswer
@@ -62,6 +63,7 @@ class ParallelAdvanced:
         n_threads: int,
         mode: str = "simulate",
         model: SimilarityModel = JACCARD,
+        filtering: bool = True,
     ) -> None:
         if n_threads <= 0:
             raise InvalidParameterError(f"n_threads must be positive, got {n_threads}")
@@ -71,6 +73,7 @@ class ParallelAdvanced:
         self.n_threads = n_threads
         self.mode = mode
         self.model = model
+        self.filtering = filtering
 
     @property
     def name(self) -> str:
@@ -82,13 +85,21 @@ class ParallelAdvanced:
         io_before = self.tree.stats.snapshot()
         context = QuestionContext.prepare(question, self.tree, self.model)
         counters = SearchCounters()
+        # Opt3 travels with the workers: dominators found by any worker
+        # feed every other worker's filter, through the cache's
+        # lock-guarded surface (the flow checker's sanctioned writer).
+        cache: Optional[DominatorCache] = None
+        if self.filtering:
+            cache = DominatorCache(
+                context.dataset, context.query, context.missing, self.model
+            )
         setup_time = time.perf_counter() - started
 
         if self.mode == "simulate":
-            best, work_times = self._run_measured(context, counters)
+            best, work_times = self._run_measured(context, counters, cache)
             elapsed = setup_time + makespan(work_times, self.n_threads)
         else:
-            best = self._run_threads(context, counters)
+            best = self._run_threads(context, counters, cache)
             elapsed = time.perf_counter() - started
 
         return WhyNotAnswer(
@@ -108,6 +119,7 @@ class ParallelAdvanced:
         incumbent_penalty: float,
         counters: SearchCounters,
         lock: Optional[threading.Lock] = None,
+        cache: Optional[DominatorCache] = None,
     ) -> Optional[RefinedQuery]:
         """One candidate under the shared incumbent; None when beaten."""
         penalty_model = context.penalty_model
@@ -121,12 +133,26 @@ class ParallelAdvanced:
             else:
                 counters.pruned_by_keyword_penalty += 1
             return None
+        # Opt3: enough cached dominators already beat the missing
+        # object under this keyword set — prune without index access
+        # (Algorithm 1 lines 10-13, shared across workers).
+        if cache is not None:
+            survivors = cache.count_dominating(candidate.keywords, stop_limit)
+            if survivors >= stop_limit:
+                if lock:
+                    with lock:
+                        counters.pruned_by_cache += 1
+                else:
+                    counters.pruned_by_cache += 1
+                return None
         result = context.searcher.rank_of_missing(
             context.query,
             context.missing,
             keywords=candidate.keywords,
             stop_limit=stop_limit,
         )
+        if cache is not None:
+            cache.record_dominators(result.dominators)
         if result.aborted or result.rank is None:
             if lock:
                 with lock:
@@ -146,7 +172,10 @@ class ParallelAdvanced:
         )
 
     def _run_measured(
-        self, context: QuestionContext, counters: SearchCounters
+        self,
+        context: QuestionContext,
+        counters: SearchCounters,
+        cache: Optional[DominatorCache] = None,
     ) -> Tuple[RefinedQuery, List[float]]:
         """Sequential shared-``p_c`` evaluation with per-unit timing."""
         best = context.basic_refined()
@@ -161,7 +190,7 @@ class ParallelAdvanced:
             unit_started = time.perf_counter()
             counters.candidates_evaluated += 1
             improved = self._evaluate_candidate(
-                context, candidate, best.penalty, counters
+                context, candidate, best.penalty, counters, cache=cache
             )
             work_times.append(time.perf_counter() - unit_started)
             if improved is not None:
@@ -169,7 +198,10 @@ class ParallelAdvanced:
         return best, work_times
 
     def _run_threads(
-        self, context: QuestionContext, counters: SearchCounters
+        self,
+        context: QuestionContext,
+        counters: SearchCounters,
+        cache: Optional[DominatorCache] = None,
     ) -> RefinedQuery:
         """Real thread pool with a lock-protected shared incumbent."""
         best = context.basic_refined()
@@ -181,7 +213,7 @@ class ParallelAdvanced:
                 incumbent = state["best"].penalty
                 counters.candidates_evaluated += 1
             improved = self._evaluate_candidate(
-                context, candidate, incumbent, counters, lock=lock
+                context, candidate, incumbent, counters, lock=lock, cache=cache
             )
             if improved is not None:
                 with lock:

@@ -1,0 +1,44 @@
+"""Shared helpers for the flow-engine tests.
+
+Fixture packages are written under ``tmp_path`` with every directory
+getting an ``__init__.py``, so module names anchor exactly like the
+shipped library (``repro.core...``) and land in the same contract
+scopes.  Fixtures are parsed by the analyser, never imported.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SEEDED_REGRESSION = FIXTURES / "seeded_regression" / "repro"
+
+
+def write_package(root: Path, files: dict) -> Path:
+    """Write ``files`` (relpath -> source) under ``root``; create
+    ``__init__.py`` in every package directory; return the tree root."""
+    tops = set()
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        parts = Path(relpath).parts
+        tops.add(parts[0])
+        for i in range(1, len(parts)):
+            package_dir = root.joinpath(*parts[:i])
+            init = package_dir / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    assert len(tops) == 1, "fixture must have a single top-level package"
+    return root / tops.pop()
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    def _make(files: dict) -> Path:
+        return write_package(tmp_path, files)
+
+    return _make

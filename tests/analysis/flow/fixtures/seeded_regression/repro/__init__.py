@@ -1,0 +1,4 @@
+# Seeded-regression fixture: a miniature ``repro`` package that
+# violates all three flow contracts.  Parsed by the analyser, never
+# imported; CI injects it to prove the analyze job still catches
+# regressions.

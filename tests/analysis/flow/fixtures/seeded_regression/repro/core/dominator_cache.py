@@ -1,0 +1,14 @@
+"""Fixture: a dominator cache whose ingest skips the lock."""
+
+from typing import Dict, Iterable
+
+
+class DominatorCache:
+    def __init__(self) -> None:
+        self._docs: Dict[int, int] = {}
+
+    def ingest_unguarded(self, oids: Iterable[int]) -> None:
+        # The violation the checker must catch: worker-reachable code
+        # writing shared cache state with no lock and no sanction.
+        for oid in oids:
+            self._docs[oid] = oid

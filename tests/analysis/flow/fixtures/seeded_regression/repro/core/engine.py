@@ -1,0 +1,21 @@
+"""Fixture: quarantine bookkeeping mutated before a raising call."""
+
+from typing import Dict
+
+
+class StorageError(Exception):
+    pass
+
+
+class WhyNotEngine:
+    def __init__(self) -> None:
+        self._quarantined: Dict[str, bool] = {}
+
+    def _load_root(self) -> int:
+        raise StorageError("disk gone")
+
+    def run_top_k(self, query: object) -> int:
+        # Exception-safety violation: shared state mutated before a
+        # possibly-raising storage call, with no handler in sight.
+        self._quarantined["setr"] = True
+        return self._load_root()

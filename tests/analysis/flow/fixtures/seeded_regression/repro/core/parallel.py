@@ -1,0 +1,18 @@
+"""Fixture: a worker entry point that reaches the unguarded ingest."""
+
+from .dominator_cache import DominatorCache
+
+
+class ParallelAdvanced:
+    def __init__(self, cache: DominatorCache) -> None:
+        self.cache = cache
+
+    def _evaluate_candidate(self, candidate: object) -> object:
+        self.cache.ingest_unguarded([1, 2])
+        return candidate
+
+    def _run_threads(self) -> None:
+        def worker(candidate: object) -> None:
+            self._evaluate_candidate(candidate)
+
+        worker(None)

@@ -1,0 +1,9 @@
+"""Fixture: top-k search doing raw pager I/O outside the pool."""
+
+from ..storage.pager import Pager
+
+
+class TopKSearcher:
+    def top_k(self, query: object) -> list:
+        pager = Pager()
+        return [pager.read(0)]

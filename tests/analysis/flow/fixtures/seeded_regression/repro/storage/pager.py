@@ -1,0 +1,6 @@
+"""Fixture storage layer: the pager the search layer must not touch."""
+
+
+class Pager:
+    def read(self, record_id: int) -> bytes:
+        return b""

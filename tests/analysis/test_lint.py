@@ -135,21 +135,15 @@ class TestBareAssert:
         assert findings == []
 
 
-class TestPagerAccess:
-    def test_flags_direct_pager_construction(self, tmp_path):
-        findings = lint_snippet(
-            tmp_path,
-            "repro/core/snippet.py",
-            """
-            from repro.storage.pager import Pager
+class TestPagerAccessRetirement:
+    """The syntactic rule was retired in favour of the call-graph-aware
+    io-through-pool contract (repro.analysis.flow); the class stays
+    importable for bespoke linter configurations."""
 
-            def f() -> None:
-                pager = Pager()
-            """,
-        )
-        assert "pager-access" in rules_of(findings)
+    def test_not_in_default_rules(self):
+        assert "pager-access" not in {r.name for r in default_linter().rules}
 
-    def test_flags_method_access_on_pager_attribute(self, tmp_path):
+    def test_default_lint_no_longer_flags_pager_access(self, tmp_path):
         findings = lint_snippet(
             tmp_path,
             "repro/index/snippet.py",
@@ -158,29 +152,19 @@ class TestPagerAccess:
                 return tree.pager.read(0)
             """,
         )
+        assert findings == []
+
+    def test_rule_class_still_works_when_opted_in(self, tmp_path):
+        from repro.analysis.lint import PagerAccessRule
+
+        path = tmp_path / "repro" / "index" / "snippet.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "def f(tree: object) -> object:\n    return tree.pager.read(0)\n",
+            encoding="utf-8",
+        )
+        findings = Linter([PagerAccessRule()]).lint([path])
         assert rules_of(findings) == ["pager-access"]
-
-    def test_passing_the_pager_reference_is_allowed(self, tmp_path):
-        findings = lint_snippet(
-            tmp_path,
-            "repro/index/snippet.py",
-            """
-            def f(tree: object, writer_cls: type) -> object:
-                return writer_cls(tree.buffer.pager)
-            """,
-        )
-        assert findings == []
-
-    def test_storage_package_is_exempt(self, tmp_path):
-        findings = lint_snippet(
-            tmp_path,
-            "repro/storage/snippet.py",
-            """
-            def f(pool: object) -> object:
-                return pool.pager.read(0)
-            """,
-        )
-        assert findings == []
 
 
 class TestMutableDefault:

@@ -75,6 +75,65 @@ class TestParallelAdvanced:
     def test_name(self, euro_engine):
         assert ParallelAdvanced(euro_engine.setr_tree, 4).name == "AdvancedBS-P4"
 
+    def test_filtering_toggle_stays_exact(self, euro_engine, euro_cases):
+        """Opt3 dominator sharing is a pure pruning optimisation: the
+        answer must be identical with it on or off, in both modes."""
+        question = euro_cases[2]
+        exact = euro_engine.answer(question, method="kcr")
+        for mode in ("simulate", "threads"):
+            for filtering in (True, False):
+                answer = euro_engine.answer(
+                    question,
+                    method="parallel-advanced",
+                    n_threads=4,
+                    mode=mode,
+                    filtering=filtering,
+                )
+                assert answer.refined.penalty == pytest.approx(
+                    exact.refined.penalty
+                ), (mode, filtering)
+
+    def test_cache_prune_skips_bad_candidate_without_io(self, euro_engine, euro_cases):
+        """A candidate whose cached dominators already exceed the stop
+        limit is pruned through the shared cache, with zero page I/O."""
+        from repro.core.context import QuestionContext
+        from repro.core.dominator_cache import DominatorCache
+        from repro.core.result import SearchCounters
+
+        tree = euro_engine.setr_tree
+        algo = ParallelAdvanced(tree, 4, model=euro_engine.model)
+        context = QuestionContext.prepare(
+            euro_cases[0], tree, euro_engine.model
+        )
+        cache = DominatorCache(
+            context.dataset, context.query, context.missing, euro_engine.model
+        )
+        # Worker A evaluated a poor candidate and shared its dominators.
+        for candidate in context.enumerator.iter_paper_order():
+            result = context.searcher.rank_of_missing(
+                context.query, context.missing, keywords=candidate.keywords
+            )
+            if result.rank is not None and result.rank > 40:
+                break
+        else:
+            pytest.skip("no deep-rank candidate in this workload")
+        cache.record_dominators(result.dominators)
+        stop_limit = context.penalty_model.max_useful_rank(
+            0.2, candidate.delta_doc
+        )
+        assert stop_limit is not None and len(cache) >= stop_limit
+
+        # Worker B hits the same candidate: pruned from the cache alone.
+        counters = SearchCounters()
+        before = tree.stats.snapshot()
+        outcome = algo._evaluate_candidate(
+            context, candidate, 0.2, counters, cache=cache
+        )
+        io_delta = tree.stats.snapshot() - before
+        assert outcome is None
+        assert counters.pruned_by_cache == 1
+        assert io_delta.page_reads == 0
+
 
 class TestParallelKcR:
     def test_validation(self, euro_engine):
