@@ -18,3 +18,26 @@ METHODS = ("basic", "advanced", "kcr")
 def test_fig04(benchmark, harness, k0, method):
     case = harness.case("fig4", k0=k0, n_keywords=4, alpha=0.5, lam=0.5)
     run_benchmark(benchmark, harness, case, method, group=f"fig4 k0={k0}")
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig04_vary_k0.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig04.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig04", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig04", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -22,3 +22,26 @@ def test_fig05(benchmark, harness, n_keywords, method):
     run_benchmark(
         benchmark, harness, case, method, group=f"fig5 keywords={n_keywords}"
     )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig05_vary_keywords.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig05.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig05", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig05", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -17,3 +17,26 @@ METHODS = ("basic", "advanced", "kcr")
 def test_fig06(benchmark, harness, alpha, method):
     case = harness.case("fig6", k0=10, n_keywords=4, alpha=alpha, lam=0.5)
     run_benchmark(benchmark, harness, case, method, group=f"fig6 alpha={alpha}")
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig06_vary_alpha.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig06.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig06", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig06", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

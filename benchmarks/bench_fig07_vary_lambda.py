@@ -18,3 +18,26 @@ METHODS = ("basic", "advanced", "kcr")
 def test_fig07(benchmark, harness, lam, method):
     case = harness.case("fig7", k0=10, n_keywords=4, alpha=0.5, lam=lam)
     run_benchmark(benchmark, harness, case, method, group=f"fig7 lambda={lam}")
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig07_vary_lambda.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig07.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig07", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig07", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

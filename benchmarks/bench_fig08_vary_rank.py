@@ -20,3 +20,26 @@ def test_fig08(benchmark, harness, rank, method):
         "fig8", k0=10, n_keywords=4, alpha=0.5, lam=0.5, rank_target=rank
     )
     run_benchmark(benchmark, harness, case, method, group=f"fig8 rank={rank}")
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig08_vary_rank.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig08.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig08", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig08", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

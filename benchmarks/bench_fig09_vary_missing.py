@@ -29,3 +29,26 @@ def test_fig09(benchmark, harness, n_missing, method):
     run_benchmark(
         benchmark, harness, case, method, group=f"fig9 missing={n_missing}"
     )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig09_vary_missing.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig09.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig09", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig09", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

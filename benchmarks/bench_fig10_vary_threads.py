@@ -24,3 +24,26 @@ def test_fig10(benchmark, harness, n_threads, method):
         group=f"fig10 threads={n_threads}",
         n_threads=n_threads,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig10_vary_threads.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig10.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig10", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig10", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -28,3 +28,26 @@ def test_fig11(benchmark, harness, config):
         group="fig11 optimizations",
         **CONFIGS[config],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig11_optimizations.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig11.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig11", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig11", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

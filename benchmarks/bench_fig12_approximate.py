@@ -37,3 +37,26 @@ def test_fig12_exact_reference(benchmark, harness, method):
         "fig12", k0=10, n_keywords=8, alpha=0.5, lam=0.5, max_extra_keywords=4
     )
     run_benchmark(benchmark, harness, case, method, group="fig12 exact")
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig12_approximate.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig12.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig12", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig12", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -34,3 +34,26 @@ def test_fig13(benchmark, harness, size, method):
         kind="gn",
         size=size,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON emitter (python benchmarks/bench_fig13_scalability.py [out.json])
+# ----------------------------------------------------------------------
+
+def emit(path="BENCH_fig13.json", scale=1.0):
+    from repro.experiments.benchflows import emit_figure
+
+    return emit_figure("fig13", path, scale=scale)
+
+
+def main(argv=None):
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("fig13", argv))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

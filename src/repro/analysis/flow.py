@@ -101,6 +101,10 @@ class FlowConfig:
         "repro.index",
         "repro.storage",
         "repro.model",
+        # The vectorized kernel substrate is read from worker entry
+        # chains (parallel candidate evaluation); its classes must obey
+        # the same read-only contract as the index/storage layers.
+        "repro.core.vectorized",
     )
     shared_classes: Tuple[str, ...] = (
         "repro.core.dominator_cache.DominatorCache",

@@ -11,6 +11,7 @@ Subcommands::
     repro-whynot analyze    [src/repro] [--json]     # flow / contract checker
     repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
     repro-whynot chaos      [--seed 7 --queries 200] # fault-injection harness
+    repro-whynot bench --emit [--check baselines/]   # BENCH_fig*.json + gate
 
 (Also runnable as ``python -m repro.cli ...``.)
 """
@@ -18,6 +19,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -403,6 +405,64 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import benchflows
+
+    names = args.figures or sorted(benchflows.FIGURES)
+    unknown = [name for name in names if name not in benchflows.FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s) {unknown}; "
+            f"expected among {sorted(benchflows.FIGURES)}"
+        )
+        return 2
+    if not args.emit and not args.check:
+        print("nothing to do: pass --emit and/or --check BASELINE_DIR")
+        return 2
+    out_dir = Path(args.out)
+    if args.emit:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    harness = benchflows.EmitterHarness()
+    failures: List[str] = []
+    for name in names:
+        out_path = out_dir / f"BENCH_{name}.json"
+        payload = benchflows.emit_figure(
+            name,
+            out_path,
+            rounds=args.rounds,
+            scale=args.scale,
+            harness=harness,
+            write=args.emit,
+        )
+        if args.emit:
+            print(
+                f"wrote {out_path}: {len(payload['units'])} unit(s), "
+                f"{len(payload['skipped'])} skipped"
+            )
+        if args.check:
+            baseline_path = Path(args.check) / f"BENCH_{name}.json"
+            if not baseline_path.exists():
+                failures.append(f"{name}: no baseline at {baseline_path}")
+                continue
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            for failure in benchflows.compare(
+                payload, baseline, tolerance=args.tolerance
+            ):
+                failures.append(f"{name}: {failure}")
+    if args.check:
+        if failures:
+            print(f"bench gate FAILED ({len(failures)} regression(s)):")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"bench gate passed: {len(names)} figure(s) within "
+            f"+{args.tolerance:.0%} of baseline"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-whynot",
@@ -526,6 +586,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="why-not method for the answer checks",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="figure benchmark emitters (BENCH_fig*.json) and the "
+        ">10%% p50 regression gate",
+    )
+    p_bench.add_argument(
+        "--emit", action="store_true", help="write BENCH_fig*.json files"
+    )
+    p_bench.add_argument(
+        "--check",
+        metavar="BASELINE_DIR",
+        help="compare against checked-in baselines; non-zero exit on "
+        "regression",
+    )
+    p_bench.add_argument(
+        "--figures",
+        nargs="*",
+        help="subset of figures (default: all), e.g. fig04 fig13",
+    )
+    p_bench.add_argument("--out", default=".", help="output directory")
+    p_bench.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="timing rounds per unit",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed normalized p50 regression (0.10 = +10%%)",
+    )
+    p_bench.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="inflate recorded latencies by this factor (negative "
+        "control for the gate; scaled payloads are stamped)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_verify = sub.add_parser(
         "verify", help="cross-check all exact algorithms against brute force"

@@ -24,6 +24,12 @@ from .result import (
     WhyNotAnswer,
 )
 from .reverse import ReverseKeywordSearch, ReverseMatch, ReverseSearchReport
+from .vectorized import (
+    VECTORIZE_ENV,
+    PackedLeaf,
+    VocabularyIndex,
+    vectorize_enabled,
+)
 
 __all__ = [
     "AdvancedAlgorithm",
@@ -61,4 +67,8 @@ __all__ = [
     "ReverseKeywordSearch",
     "ReverseMatch",
     "ReverseSearchReport",
+    "VECTORIZE_ENV",
+    "PackedLeaf",
+    "VocabularyIndex",
+    "vectorize_enabled",
 ]

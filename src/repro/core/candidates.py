@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass
 from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
+from ..model.numeric import quantize
 from .particularity import ParticularityIndex
 
 __all__ = ["Candidate", "CandidateEnumerator"]
@@ -146,7 +147,11 @@ class CandidateEnumerator:
                     if candidate is not None:
                         candidates.append(candidate)
         if self.particularity is not None and with_gain:
-            candidates.sort(key=lambda c: (-c.gain, sorted(c.keywords)))
+            # Gains are float sums whose low bits depend on evaluation
+            # order; quantizing the sort key keeps the enumeration order
+            # identical between the scalar and vectorized gain paths
+            # (ulp-close gains fall through to the keyword tie-break).
+            candidates.sort(key=lambda c: (-quantize(c.gain), sorted(c.keywords)))
         return candidates
 
     def iter_paper_order(self) -> Iterator[Candidate]:
@@ -181,8 +186,10 @@ class CandidateEnumerator:
             edits.append((-self.particularity.parti_missing(term), "del", term))
 
         base_applied = [e for e in edits if e[0] > 0]
+        # Quantized flip costs for the same reason as the at_distance
+        # sort: ulp-close costs must order by the (kind, term) key.
         flips = sorted(
-            (abs(gain), kind, term) for gain, kind, term in edits
+            (quantize(abs(gain)), kind, term) for gain, kind, term in edits
         )
 
         def realise(flip_indexes: Tuple[int, ...]) -> Optional[Candidate]:

@@ -20,7 +20,9 @@ I/O is charged), not because the answers do.
 from __future__ import annotations
 
 import time
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import MissingObjectError
 from ..model.objects import Dataset, SpatialObject
@@ -38,13 +40,29 @@ KeywordSet = FrozenSet[int]
 
 
 class ScanFallback:
-    """Exact query evaluation by scanning the in-memory dataset."""
+    """Exact query evaluation by scanning the in-memory dataset.
+
+    When ``REPRO_VECTORIZE`` is on (``vectorize=None`` follows the
+    environment) the scan packs the dataset into one columnar block and
+    scores it with the shared batched kernels — bit-identical to the
+    scalar loop per the :mod:`repro.core.vectorized` parity contract,
+    so the degraded-path answers are unchanged either way.
+    """
 
     name = "degraded-scan"
 
-    def __init__(self, dataset: Dataset, model: SimilarityModel = JACCARD) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: SimilarityModel = JACCARD,
+        *,
+        vectorize: Optional[bool] = None,
+    ) -> None:
+        from .vectorized import vectorize_enabled
+
         self.dataset = dataset
         self.model = model
+        self.vectorize = vectorize_enabled(vectorize)
 
     # ------------------------------------------------------------------
     # scoring (mirrors TopKSearcher._object_score exactly)
@@ -62,6 +80,67 @@ class ScanFallback:
         return query.alpha * (1.0 - dist) + (1.0 - query.alpha) * textual
 
     # ------------------------------------------------------------------
+    # vectorized scan substrate
+    # ------------------------------------------------------------------
+    def _table(self) -> Optional[Tuple[Any, Any]]:
+        """A ``(vocab, packed)`` columnar snapshot of the dataset.
+
+        ``None`` when vectorization is off or the dataset is empty;
+        callers fall back to the scalar scan.  Built fresh per public
+        call (and once per :meth:`answer` sweep) so dataset mutations
+        between calls are always reflected.
+        """
+        if not self.vectorize or not len(self.dataset):
+            return None
+        from .vectorized import PackedLeaf, VocabularyIndex
+
+        vocab = VocabularyIndex.from_dataset(self.dataset)
+        return vocab, PackedLeaf.of_dataset(self.dataset, vocab)
+
+    def _scan_scores(
+        self,
+        table: Tuple[Any, Any],
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched Eqn 1 scores (and oids) for the whole dataset."""
+        from .vectorized import leaf_scores
+
+        vocab, packed = table
+        scores = np.array(
+            leaf_scores(
+                packed,
+                query.loc,
+                query.alpha,
+                vocab.encode(keywords),
+                len(keywords),
+                self.model.name,
+                self.dataset,
+            ),
+            dtype=np.float64,
+        )
+        return scores, packed.oids
+
+    def _rank(
+        self,
+        table: Optional[Tuple[Any, Any]],
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        keywords: KeywordSet,
+    ) -> int:
+        threshold = min(self.score(m, query, keywords) for m in missing)
+        if table is not None:
+            scores, _ = self._scan_scores(table, query, keywords)
+            dominators = int(np.count_nonzero(scores > threshold))
+        else:
+            dominators = sum(
+                1
+                for obj in self.dataset
+                if self.score(obj, query, keywords) > threshold
+            )
+        return dominators + 1
+
+    # ------------------------------------------------------------------
     # query evaluation
     # ------------------------------------------------------------------
     def top_k(
@@ -76,8 +155,15 @@ class ScanFallback:
         :meth:`repro.index.search.TopKSearcher.top_k`.
         """
         limit = query.k if k is None else k
+        doc = query.doc if keywords is None else keywords
+        table = self._table()
+        if table is not None:
+            scores, oids = self._scan_scores(table, query, doc)
+            # lexsort keys ascend, last key is primary: score desc, oid asc
+            order = np.lexsort((oids, -scores))[:limit]
+            return list(zip(scores[order].tolist(), oids[order].tolist()))
         scored = sorted(
-            ((self.score(obj, query, keywords), obj.oid) for obj in self.dataset),
+            ((self.score(obj, query, doc), obj.oid) for obj in self.dataset),
             key=lambda pair: (-pair[0], pair[1]),
         )
         return scored[:limit]
@@ -89,13 +175,8 @@ class ScanFallback:
         keywords: Optional[KeywordSet] = None,
     ) -> int:
         """``R(M, q')``: one plus the strictly-better object count."""
-        threshold = min(self.score(m, query, keywords) for m in missing)
-        dominators = sum(
-            1
-            for obj in self.dataset
-            if self.score(obj, query, keywords) > threshold
-        )
-        return dominators + 1
+        doc = query.doc if keywords is None else keywords
+        return self._rank(self._table(), query, missing, doc)
 
     # ------------------------------------------------------------------
     # why-not answering (BS semantics over the scan)
@@ -111,7 +192,8 @@ class ScanFallback:
         started = time.perf_counter()
         query = question.query
         missing = tuple(self.dataset.get(oid) for oid in question.missing)
-        initial_rank = self.rank_of_missing(query, missing)
+        table = self._table()  # one packed snapshot for the whole sweep
+        initial_rank = self._rank(table, query, missing, query.doc)
         if initial_rank <= query.k:
             raise MissingObjectError(
                 f"missing objects already rank {initial_rank} <= k={query.k} "
@@ -139,9 +221,7 @@ class ScanFallback:
         for candidate in enumerator.iter_naive():
             counters.candidates_enumerated += 1
             counters.candidates_evaluated += 1
-            rank = self.rank_of_missing(
-                query, missing, keywords=candidate.keywords
-            )
+            rank = self._rank(table, query, missing, candidate.keywords)
             penalty = penalty_model.penalty(candidate.delta_doc, rank)
             if penalty < best.penalty:
                 best = RefinedQuery(

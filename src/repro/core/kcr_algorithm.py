@@ -83,14 +83,23 @@ class KcRAlgorithm:
 
     name = "KcRBased"
 
-    def __init__(self, tree: KcRTree, model: SimilarityModel = JACCARD) -> None:
+    def __init__(
+        self,
+        tree: KcRTree,
+        model: SimilarityModel = JACCARD,
+        *,
+        vectorize: Optional[bool] = None,
+    ) -> None:
         if model.name != "jaccard":
             raise ValueError(
                 "the KcR-tree bounds (Theorems 2-3) are Jaccard-specific; "
                 f"got model {model.name!r}"
             )
+        from .vectorized import vectorize_enabled
+
         self.tree = tree
         self.model = model
+        self.vectorize = vectorize_enabled(vectorize)
         # NodeTextStats is O(|kcm| log |kcm|) to build; cache per aux
         # record for the lifetime of the algorithm instance.  Purely an
         # in-memory artefact: the underlying kcm fetch that feeds it is
@@ -355,22 +364,34 @@ class KcRAlgorithm:
         Vectorised over the leaf's objects with a term-incidence
         matrix: one boolean column per keyword occurring in the leaf,
         so each candidate's Jaccard similarities for the whole leaf
-        reduce to a column-slice sum.  Doc fetches stay per-object
-        (I/O-accounted); only the arithmetic is batched.
+        reduce to a column-slice sum.  When the leaf carries a healthy
+        packed columnar block (:mod:`repro.core.vectorized`) and
+        vectorization is on, the intersections come from bitmask
+        popcounts instead — exact small integers in float64 either way,
+        so the resulting scores are bit-identical.  Doc fetches stay
+        per-object (I/O-accounted); only the arithmetic is batched.
         """
         tree = self.tree
         n_missing = len(states[0].m_score) if states else 0
         entries = node.object_entries
         docs = [tree.fetch_doc(entry.doc_record) for entry in entries]
-        term_index: Dict[int, int] = {}
-        for doc in docs:
-            for term in doc:
-                if term not in term_index:
-                    term_index[term] = len(term_index)
-        incidence = np.zeros((len(entries), max(1, len(term_index))), dtype=np.float64)
-        for row, doc in enumerate(docs):
-            for term in doc:
-                incidence[row, term_index[term]] = 1.0
+        packed = tree.packed_leaf(node) if self.vectorize else None
+        if packed is not None and len(packed) != len(entries):
+            packed = None
+        if packed is not None:
+            from .vectorized import batch_intersections
+        else:
+            term_index: Dict[int, int] = {}
+            for doc in docs:
+                for term in doc:
+                    if term not in term_index:
+                        term_index[term] = len(term_index)
+            incidence = np.zeros(
+                (len(entries), max(1, len(term_index))), dtype=np.float64
+            )
+            for row, doc in enumerate(docs):
+                for term in doc:
+                    incidence[row, term_index[term]] = 1.0
         doc_lengths = np.array([len(doc) for doc in docs], dtype=np.float64)
         spatial = np.array(
             [
@@ -388,11 +409,18 @@ class KcRAlgorithm:
             if not state.alive:
                 continue
             keywords = state.candidate.keywords
-            columns = [term_index[t] for t in keywords if t in term_index]
-            if columns:
-                inter = incidence[:, columns].sum(axis=1)
+            if packed is not None:
+                # Popcount over the packed bitmask block: exact small
+                # integers in float64, identical to the column sums.
+                inter = batch_intersections(
+                    packed.masks, tree.vocab.encode(keywords)
+                )
             else:
-                inter = np.zeros(len(entries))
+                columns = [term_index[t] for t in keywords if t in term_index]
+                if columns:
+                    inter = incidence[:, columns].sum(axis=1)
+                else:
+                    inter = np.zeros(len(entries))
             union = doc_lengths + float(len(keywords)) - inter
             with np.errstate(divide="ignore", invalid="ignore"):
                 tsim = np.where(union > 0.0, inter / union, 0.0)

@@ -63,6 +63,13 @@ class Node:
     :class:`ChildEntry` points at; nodes carry it too so dynamic
     insertion can maintain summaries along the root-to-leaf path
     without parent pointers.
+
+    ``packed_record`` (leaves only; ``-1`` elsewhere or when absent)
+    points at the node's packed columnar block
+    (:class:`repro.core.vectorized.PackedLeaf`) — the derived
+    float64-coordinate/keyword-bitmask mirror the vectorized scoring
+    kernels read.  It is maintained alongside the summary on every
+    structural change.
     """
 
     node_id: int
@@ -71,6 +78,7 @@ class Node:
     entries: List[Entry]
     level: int  # 0 for leaves, parents one higher
     aux_record: int = -1
+    packed_record: int = -1
 
     def __len__(self) -> int:
         return len(self.entries)

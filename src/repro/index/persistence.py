@@ -12,7 +12,11 @@ JSON document and reconstructs an equivalent tree:
   the same deterministic rules as construction;
 * textual summaries are recomputed bottom-up from the preserved
   grouping — they are pure functions of the subtree membership, so
-  equality with the saved tree's summaries is guaranteed.
+  equality with the saved tree's summaries is guaranteed;
+* each leaf's packed columnar block
+  (:class:`repro.core.vectorized.PackedLeaf`) is rebuilt under the
+  loaded tree's (deterministic) vocabulary interning, so the vectorized
+  scoring substrate round-trips with the structure.
 
 The dataset itself is persisted separately
 (:func:`repro.data.io.save_dataset`); a saved index references objects
@@ -132,7 +136,14 @@ class _StructureLoader:
         summary = TextSummary.merged(
             TextSummary.of_object(obj) for obj in objects
         )
-        return self._allocate(spec, rect, entries, summary, is_leaf=True)
+        return self._allocate(
+            spec,
+            rect,
+            entries,
+            summary,
+            is_leaf=True,
+            packed_items=[(obj.oid, obj.loc, obj.doc) for obj in objects],
+        )
 
     def _allocate(
         self,
@@ -141,6 +152,7 @@ class _StructureLoader:
         entries: List[Any],
         summary: TextSummary,
         is_leaf: bool,
+        packed_items: Any = None,
     ) -> Tuple[Rect, ChildEntry, TextSummary]:
         tree = self.tree
         if len(entries) > tree.capacity:
@@ -157,6 +169,10 @@ class _StructureLoader:
         )
         node.node_id = tree.buffer.allocate(node, node_bytes(len(entries)))
         node.aux_record = tree._allocate_summary(summary)
+        if packed_items is not None:
+            # Rebuild the packed columnar block exactly as bulk loading
+            # would: same vocabulary interning, same record contents.
+            node.packed_record = tree._allocate_packed(packed_items)
         tree.node_count += 1
         return rect, ChildEntry(
             child_id=node.node_id, rect=rect, aux_record=node.aux_record

@@ -21,18 +21,31 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..errors import IndexStructureError
+from ..errors import IndexStructureError, StorageError
 from ..model.geometry import Rect, bounding_rect
 from ..model.objects import Dataset, SpatialObject
 from ..storage.buffer_pool import DEFAULT_BUFFER_BYTES, BufferPool
 from ..storage.faults import FaultInjector
-from ..storage.layout import keyword_set_bytes, node_bytes
+from ..storage.layout import keyword_set_bytes, node_bytes, packed_leaf_bytes
 from ..storage.packing import PackedWriter, SlotRef, fetch_slot
 from ..storage.pager import PAGE_SIZE
 from ..storage.stats import IOStatistics
 from .entries import ChildEntry, Node, ObjectEntry
+
+if TYPE_CHECKING:  # import cycle: repro.core.* imports repro.index.*
+    from ..core.vectorized import PackedLeaf, VocabularyIndex
 
 __all__ = ["TextSummary", "RTreeBase", "DEFAULT_CAPACITY"]
 
@@ -198,6 +211,11 @@ class RTreeBase:
         self.root_summary_record: int = -1
         self.height = 0
         self.node_count = 0
+        # Deterministic keyword -> bit-position interning for the packed
+        # columnar leaf blocks; extended in place by dynamic inserts.
+        from ..core.vectorized import VocabularyIndex  # lazy: import cycle
+
+        self.vocab: "VocabularyIndex" = VocabularyIndex.from_dataset(dataset)
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -283,6 +301,13 @@ class RTreeBase:
         node.node_id = node_id
         summary_record = self._allocate_summary(summary)
         node.aux_record = summary_record
+        if is_leaf:
+            # Columnar mirror for the vectorized scoring kernels; built
+            # unconditionally so the on-disk layout is identical whether
+            # or not REPRO_VECTORIZE later reads it.
+            node.packed_record = self._allocate_packed(
+                [(obj.oid, obj.loc, obj.doc) for _, obj, _ in run]
+            )
         self.node_count += 1
         return rect, ChildEntry(child_id=node_id, rect=rect, aux_record=summary_record), summary
 
@@ -326,6 +351,66 @@ class RTreeBase:
         if not isinstance(doc, frozenset):
             raise IndexStructureError(f"record {doc_record} is not a keyword set")
         return doc
+
+    # ------------------------------------------------------------------
+    # packed columnar leaf blocks (vectorized scoring substrate)
+    # ------------------------------------------------------------------
+    def _allocate_packed(
+        self, items: List[Tuple[int, Any, FrozenSet[int]]]
+    ) -> int:
+        """Build and store a leaf's packed columnar block."""
+        from ..core.vectorized import PackedLeaf  # lazy: import cycle
+
+        packed = PackedLeaf.build(items, self.vocab)
+        return self.buffer.allocate(
+            packed, packed_leaf_bytes(len(items), self.vocab.n_blocks)
+        )
+
+    def _repack_leaf(self, node: Node) -> None:
+        """Rebuild a mutated leaf's packed block from its entries.
+
+        Documents are re-read through the buffer pool (accounted, fault
+        surface exercised) — the same way the summary recompute reads
+        them — so the storage-operation sequence stays identical whether
+        the vectorized path is on or off.
+        """
+        from ..core.vectorized import PackedLeaf  # lazy: import cycle
+
+        if not node.entries:
+            return
+        items = [
+            (entry.oid, entry.loc, self.fetch_doc(entry.doc_record))
+            for entry in node.object_entries
+        ]
+        packed = PackedLeaf.build(items, self.vocab)
+        nbytes = packed_leaf_bytes(len(items), self.vocab.n_blocks)
+        if node.packed_record >= 0:
+            self.buffer.update(node.packed_record, packed, nbytes)
+        else:
+            node.packed_record = self.buffer.allocate(packed, nbytes)
+
+    def packed_leaf(self, node: Node) -> Optional["PackedLeaf"]:
+        """The leaf's packed block, or ``None`` when unavailable.
+
+        Read with :meth:`BufferPool.peek` — the block mirrors data whose
+        I/O the scalar path already charges per entry (locations live in
+        the node record, keyword sets in the packed doc pages), so
+        charging it again would double-count; the caller issues the
+        per-entry doc fetches itself.  A missing or corrupt block (e.g.
+        rotted by an injected fault) degrades to ``None`` and the caller
+        falls back to the bit-identical scalar loop for this leaf.
+        """
+        from ..core.vectorized import PackedLeaf  # lazy: import cycle
+
+        if node.packed_record < 0:
+            return None
+        try:
+            payload = self.buffer.peek(node.packed_record)
+        except StorageError:
+            return None
+        if not isinstance(payload, PackedLeaf):
+            return None
+        return payload
 
     def resize_buffer(self, capacity_pages: int) -> None:
         """Re-size the buffer pool (in pages) and cold-start it.
@@ -383,6 +468,7 @@ class RTreeBase:
                 f"object {obj.oid} must be added to the dataset before "
                 "being inserted into the index"
             )
+        self.vocab.extend(obj.doc)  # widen the bitmask vocabulary first
         writer = PackedWriter(self.buffer)
         index = writer.add(obj.doc, keyword_set_bytes(len(obj.doc)))
         writer.flush()
@@ -445,7 +531,9 @@ class RTreeBase:
         node.rect = bounding_rect(self._entry_rect(node, e) for e in node.entries)
         split_entry: Optional[ChildEntry] = None
         if len(node.entries) > self.capacity:
-            split_entry = self._split_node(node)
+            split_entry = self._split_node(node)  # repacks both leaf halves
+        elif node.is_leaf:
+            self._repack_leaf(node)
         self._write_node(node)
         return split_entry
 
@@ -474,6 +562,8 @@ class RTreeBase:
         node.rect = bounding_rect(rect_of(e) for e in group_a)
         payload, nbytes = self._payload_of_entries(node)
         self.buffer.update(node.aux_record, payload, nbytes)
+        if node.is_leaf:
+            self._repack_leaf(node)
 
         sibling = Node(
             node_id=-1,
@@ -487,6 +577,8 @@ class RTreeBase:
         )
         payload, nbytes = self._payload_of_entries(sibling)
         sibling.aux_record = self.buffer.allocate(payload, nbytes)
+        if sibling.is_leaf:
+            self._repack_leaf(sibling)
         self.node_count += 1
         return ChildEntry(
             child_id=sibling.node_id, rect=sibling.rect, aux_record=sibling.aux_record
@@ -595,6 +687,8 @@ class RTreeBase:
                 self._evict_subtree(child, orphans)
         self.buffer.free(node.node_id)
         self.buffer.free(node.aux_record)
+        if node.packed_record >= 0:
+            self.buffer.free(node.packed_record)
         self.node_count -= 1
 
     def _refresh_node(self, node: Node) -> None:
@@ -605,6 +699,8 @@ class RTreeBase:
             )
             payload, nbytes = self._payload_of_entries(node)
             self.buffer.update(node.aux_record, payload, nbytes)
+            if node.is_leaf:
+                self._repack_leaf(node)
         self._write_node(node)
 
     def _augment_summary_record(self, aux_record: int, doc: FrozenSet[int]) -> None:

@@ -18,6 +18,26 @@ Two operations drive every why-not algorithm:
 
 Both trees expose the same two methods the searcher needs
 (``entry_score_bound`` and ``fetch_doc``), so one searcher serves both.
+
+**Heap ordering.**  Heap items are ``(-key, kind, tiebreak, seq, node)``
+with ``kind = 0`` for subtree entries and ``1`` for objects.  The
+``kind`` level guarantees that a node whose upper bound ties an
+object's exact score is expanded *before* that object is emitted — the
+node may contain equal-scoring objects with smaller ids, and the oracle
+(:meth:`repro.model.scoring.Scorer.top_k`) breaks score ties by
+ascending id over the *whole* dataset.  (An oid-based tiebreak alone is
+not enough: a sentinel like ``-1`` only sorts nodes first when every
+object id is non-negative, which the dataset contract does not
+require.)  Object-object ties then break by ascending id, matching the
+oracle's stable sort exactly.
+
+**Vectorized leaf expansion.**  When ``REPRO_VECTORIZE`` is on (the
+default) and a leaf carries a packed columnar block, the whole leaf is
+scored in one batched kernel call (:mod:`repro.core.vectorized`) —
+bit-identical to the scalar loop, with the same per-entry accounted doc
+fetches so I/O counters and injected-fault schedules replay
+identically.  Any leaf without a healthy packed block silently falls
+back to the scalar loop.
 """
 
 from __future__ import annotations
@@ -25,7 +45,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..model.objects import SpatialObject
 from ..model.query import SpatialKeywordQuery
@@ -53,12 +73,32 @@ class RankResult:
     aborted: bool
 
 
-class TopKSearcher:
-    """Best-first search over a SetR-tree or KcR-tree."""
+# heap item: (-score_key, kind, tiebreak, seq, node_id or None)
+_HeapItem = Tuple[float, int, int, int, Optional[int]]
+_NODE_KIND = 0  # sorts before objects at equal score keys
+_OBJECT_KIND = 1
 
-    def __init__(self, tree: RTreeBase, model: SimilarityModel = JACCARD) -> None:
+
+class TopKSearcher:
+    """Best-first search over a SetR-tree or KcR-tree.
+
+    ``vectorize`` overrides the ``REPRO_VECTORIZE`` environment switch
+    for this searcher (``None`` = follow the environment); results are
+    bit-identical either way, only the leaf-scoring cost differs.
+    """
+
+    def __init__(
+        self,
+        tree: RTreeBase,
+        model: SimilarityModel = JACCARD,
+        *,
+        vectorize: Optional[bool] = None,
+    ) -> None:
+        from ..core.vectorized import vectorize_enabled  # lazy: import cycle
+
         self.tree = tree
         self.model = model
+        self.vectorize = vectorize_enabled(vectorize)
         self._counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -101,12 +141,11 @@ class TopKSearcher:
         """
         limit = query.k if k is None else k
         doc = query.doc if keywords is None else keywords
-        heap: List[Tuple[float, int, int, Optional[int]]] = []
-        # heap item: (-score_key, oid_tiebreak, seq, node_id or None)
-        self._push_node(heap, self.tree.root_id, float("inf"), -1)
+        heap: List[_HeapItem] = []
+        self._push_node(heap, self.tree.root_id, float("inf"))
         results: List[Tuple[float, int]] = []
         while heap and len(results) < limit:
-            neg_key, tiebreak, _, node_id = heapq.heappop(heap)
+            neg_key, _, tiebreak, _, node_id = heapq.heappop(heap)
             if node_id is None:
                 results.append((-neg_key, tiebreak))
                 continue
@@ -133,11 +172,11 @@ class TopKSearcher:
         threshold = min(
             self._object_score(m.loc, m.doc, query, doc) for m in missing
         )
-        heap: List[Tuple[float, int, int, Optional[int]]] = []
-        self._push_node(heap, self.tree.root_id, float("inf"), -1)
+        heap: List[_HeapItem] = []
+        self._push_node(heap, self.tree.root_id, float("inf"))
         dominators: List[int] = []
         while heap:
-            neg_key, tiebreak, _, node_id = heap[0]
+            neg_key, _, tiebreak, _, node_id = heap[0]
             if -neg_key <= threshold:
                 break  # nothing left can strictly beat the worst missing object
             heapq.heappop(heap)
@@ -161,29 +200,76 @@ class TopKSearcher:
     # ------------------------------------------------------------------
     def _push_node(
         self,
-        heap: List[Tuple[float, int, int, Optional[int]]],
+        heap: List[_HeapItem],
         node_id: int,
         bound: float,
-        tiebreak: int,
     ) -> None:
-        heapq.heappush(heap, (-bound, tiebreak, next(self._counter), node_id))
+        heapq.heappush(
+            heap, (-bound, _NODE_KIND, -1, next(self._counter), node_id)
+        )
 
     def _expand(
         self,
-        heap: List[Tuple[float, int, int, Optional[int]]],
+        heap: List[_HeapItem],
         node_id: int,
         query: SpatialKeywordQuery,
         keywords: KeywordSet,
     ) -> None:
         node = self.tree.fetch_node(node_id)
         if node.is_leaf:
-            for entry in node.object_entries:
-                doc = self.tree.fetch_doc(entry.doc_record)
-                score = self._object_score(entry.loc, doc, query, keywords)
-                heapq.heappush(
-                    heap, (-score, entry.oid, next(self._counter), None)
-                )
+            entries = node.object_entries
+            scores = self._leaf_scores(node, entries, query, keywords)
+            if scores is None:
+                for entry in entries:
+                    doc = self.tree.fetch_doc(entry.doc_record)
+                    score = self._object_score(entry.loc, doc, query, keywords)
+                    heapq.heappush(
+                        heap,
+                        (-score, _OBJECT_KIND, entry.oid,
+                         next(self._counter), None),
+                    )
+            else:
+                for entry, score in zip(entries, scores):
+                    heapq.heappush(
+                        heap,
+                        (-score, _OBJECT_KIND, entry.oid,
+                         next(self._counter), None),
+                    )
         else:
             for entry in node.child_entries:
                 bound = self.tree.entry_score_bound(entry, query, keywords)
-                self._push_node(heap, entry.child_id, bound, -1)
+                self._push_node(heap, entry.child_id, bound)
+
+    def _leaf_scores(
+        self,
+        node: Any,
+        entries: Sequence[Any],
+        query: SpatialKeywordQuery,
+        keywords: KeywordSet,
+    ) -> Optional[List[float]]:
+        """Batched leaf scoring; ``None`` requests the scalar fallback.
+
+        The packed block mirrors data whose I/O the scalar loop charges
+        per entry, so this path issues the *identical* accounted
+        ``fetch_doc`` sequence (same counters, same injected-fault
+        replay) and reads the packed block for free via ``peek``.
+        """
+        if not self.vectorize or not entries:
+            return None
+        packed = self.tree.packed_leaf(node)
+        if packed is None or len(packed) != len(entries):
+            return None
+        from ..core.vectorized import leaf_scores  # lazy: import cycle
+
+        for entry in entries:
+            self.tree.fetch_doc(entry.doc_record)
+        query_mask = self.tree.vocab.encode(keywords)
+        return leaf_scores(
+            packed,
+            query.loc,
+            query.alpha,
+            query_mask,
+            len(keywords),
+            self.model.name,
+            self.tree.dataset,
+        )

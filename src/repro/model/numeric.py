@@ -23,10 +23,12 @@ import math
 __all__ = [
     "DEFAULT_REL_TOL",
     "DEFAULT_ABS_TOL",
+    "QUANTIZE_DECIMALS",
     "approx_eq",
     "approx_le",
     "approx_ge",
     "approx_zero",
+    "quantize",
 ]
 
 DEFAULT_REL_TOL = 1e-9
@@ -38,6 +40,28 @@ paper's parameter grid)."""
 DEFAULT_ABS_TOL = 1e-12
 """Absolute floor so comparisons against exactly 0.0 still succeed for
 accumulated rounding residue."""
+
+
+QUANTIZE_DECIMALS = 9
+"""Decimal places kept by :func:`quantize` — the sort-key analogue of
+``DEFAULT_REL_TOL`` for scores/penalties/gains in ``[0, 1]``-ish
+magnitudes: coarse enough to absorb ulp noise from different evaluation
+orders (scalar loop vs vectorized kernel), fine enough that no two
+meaningfully different values collapse."""
+
+
+def quantize(value: float, *, decimals: int = QUANTIZE_DECIMALS) -> float:
+    """Quantize a float for use inside a *sort key*.
+
+    ``approx_eq`` cannot serve as a sort key because tolerance-based
+    equality is not transitive; rounding to a fixed grid is.  Two values
+    within ulp noise of each other land on the same grid point, so
+    orderings that tie-break on a secondary key stay deterministic no
+    matter which evaluation order (scalar or vectorized) produced the
+    primary key.  ``-0.0`` normalises to ``0.0`` so the quantized key
+    never distinguishes signed zeros.
+    """
+    return round(value, decimals) + 0.0
 
 
 def approx_eq(

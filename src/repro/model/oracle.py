@@ -60,7 +60,11 @@ class Oracle:
     def sdist(self, loc: Tuple[float, float]) -> np.ndarray:
         """Normalised spatial distance of every object to ``loc``."""
         deltas = self._locs - np.asarray(loc, dtype=np.float64)
-        dist = np.hypot(deltas[:, 0], deltas[:, 1]) / self.dataset.diagonal
+        dx, dy = deltas[:, 0], deltas[:, 1]
+        # sqrt(dx²+dy²) — the same IEEE-reproducible formulation as
+        # geometry.euclidean, so oracle scores are bit-identical to the
+        # production scalar and vectorized paths alike.
+        dist = np.sqrt(dx * dx + dy * dy) / self.dataset.diagonal
         return np.minimum(dist, 1.0)
 
     def intersection_counts(self, keywords: Iterable[int]) -> np.ndarray:

@@ -11,6 +11,24 @@ SetR-tree (Theorem 1) and KcR-tree (Theorem 3) exploit, so the
 index-based bounds stay Jaccard-specific; the other models fall back to
 a generic, still-admissible upper bound (intersection over the larger
 of the two minimum-union estimates).
+
+Empty-set convention
+--------------------
+
+Every model pins the same convention, stated once here and guarded
+explicitly in every ``similarity``/``node_upper_bound`` entry point:
+**a similarity involving an empty operand is 0.0** — an empty query
+matches nothing (the candidate space excludes the empty keyword set for
+exactly this reason, see :mod:`repro.core.candidates`), and an empty
+document matches no query.  In particular ``similarity(∅, ∅) == 0.0``,
+*not* 1.0: the ``0/0`` form is resolved to "no match", matching the
+oracle's ``np.where(union > 0, ...)`` and keeping every score finite.
+Earlier revisions reached these values only through incidental guards
+(``x / y if y else 0.0`` on branches whose denominators could not
+actually be zero) — the convention is now the first check in each
+method so no refactor can reintroduce a division by zero, and the
+vectorized kernels (:mod:`repro.core.vectorized`) share the same
+guards so scalar and batched scores agree bit for bit.
 """
 
 from __future__ import annotations
@@ -58,15 +76,17 @@ class JaccardSimilarity:
     name = "jaccard"
 
     def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
-        if not doc and not query:
-            return 0.0
+        if not doc or not query:
+            return 0.0  # empty-operand convention (module docstring)
         inter = len(doc & query)
         union = len(doc) + len(query) - inter
-        return inter / union if union else 0.0
+        return inter / union
 
     def node_upper_bound(
         self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
     ) -> float:
+        if not union or not query:
+            return 0.0  # empty-operand convention (module docstring)
         # Theorem 1: |N∪ ∩ q| / |N∩ ∪ q| — the numerator is maximised
         # by the union set, the denominator minimised by the
         # intersection set.
@@ -74,7 +94,7 @@ class JaccardSimilarity:
         if numerator == 0:
             return 0.0
         denominator = len(intersection | query)
-        return numerator / denominator if denominator else 0.0
+        return numerator / denominator
 
 
 class DiceSimilarity:
@@ -83,25 +103,27 @@ class DiceSimilarity:
     name = "dice"
 
     def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
+        if not doc or not query:
+            return 0.0  # empty-operand convention (module docstring)
         total = len(doc) + len(query)
-        if total == 0:
-            return 0.0
         return 2.0 * len(doc & query) / total
 
     def node_upper_bound(
         self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
     ) -> float:
+        if not union or not query:
+            return 0.0  # empty-operand convention (module docstring)
         # Any document contains the node intersection, so |d| >= |N∩|;
         # the intersection with q is at most |N∪ ∩ q|.
         overlap = len(union & query)
         if overlap == 0:
             return 0.0
         numerator = 2.0 * overlap
+        # ``query`` is non-empty here, so the denominator is positive
+        # even for an empty node intersection.
         denominator = len(intersection) + len(query)
         # A document also has |d ∩ q| <= |d|, so the bound never needs
         # to exceed 1.
-        if denominator == 0:
-            return 0.0
         return min(1.0, numerator / denominator)
 
 
@@ -112,16 +134,16 @@ class CosineSetSimilarity:
 
     def similarity(self, doc: KeywordSet, query: KeywordSet) -> float:
         if not doc or not query:
-            return 0.0
+            return 0.0  # empty-operand convention (module docstring)
         return len(doc & query) / math.sqrt(len(doc) * len(query))
 
     def node_upper_bound(
         self, union: KeywordSet, intersection: KeywordSet, query: KeywordSet
     ) -> float:
+        if not union or not query:
+            return 0.0  # empty-operand convention (module docstring)
         numerator = len(union & query)
         if numerator == 0:
-            return 0.0
-        if not query:
             return 0.0
         # |d| >= max(|N∩|, |d ∩ q|); using |N∩| alone is admissible,
         # but when the node intersection is empty we still know

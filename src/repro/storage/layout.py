@@ -26,10 +26,12 @@ __all__ = [
     "NODE_HEADER_BYTES",
     "KEYWORD_ID_BYTES",
     "KEYWORD_COUNT_BYTES",
+    "PACKED_LEAF_HEADER_BYTES",
     "node_bytes",
     "keyword_set_bytes",
     "set_pair_bytes",
     "keyword_count_map_bytes",
+    "packed_leaf_bytes",
 ]
 
 ENTRY_BYTES = 48
@@ -60,3 +62,21 @@ def set_pair_bytes(union_size: int, intersection_size: int) -> int:
 def keyword_count_map_bytes(entries: int) -> int:
     """Bytes of a KcR-tree keyword-count map with ``entries`` keys."""
     return 8 + max(KEYWORD_COUNT_BYTES, entries * KEYWORD_COUNT_BYTES)
+
+
+PACKED_LEAF_HEADER_BYTES = 16
+"""Object count + mask width header of a packed columnar leaf block."""
+
+
+def packed_leaf_bytes(n_objects: int, n_blocks: int) -> int:
+    """Bytes of a packed columnar leaf block.
+
+    Per object: id (8 B) + x/y coordinates (2 × 8 B doubles) + document
+    length (8 B) + the keyword bitmask row (``n_blocks`` × 8 B).  The
+    block is a derived mirror of data already stored elsewhere (entry
+    locations, packed keyword-set pages), so reads of it charge no
+    buffer-pool I/O — but it still occupies honest disk pages, which is
+    why its size participates in the byte model.
+    """
+    per_object = 8 + 16 + 8 + n_blocks * 8
+    return PACKED_LEAF_HEADER_BYTES + max(per_object, n_objects * per_object)

@@ -137,3 +137,58 @@ class TestTopByGain:
         assert e.edit_universe == 30
         sample = e.top_by_gain(500)
         assert len(sample) == 500
+
+
+class _UlpNoisyParticularity:
+    """Stub whose gains differ only below the quantization grid —
+    modelling the scalar and vectorized gain paths producing ulp-close
+    float sums for the same edit script."""
+
+    def __init__(self, noise=0.0):
+        self.noise = noise
+
+    def parti_missing(self, term):
+        return 0.5 + self.noise
+
+    def edit_gain(self, added, removed):
+        return 0.5 + self.noise
+
+
+class TestQuantizedOrdering:
+    """Regression: candidate ordering routes float gain comparisons
+    through ``repro.model.numeric.quantize`` so gains that differ only
+    in their low bits cannot flip the enumeration order between runs
+    (or between the scalar and vectorized gain paths)."""
+
+    DOC0 = frozenset({1, 2})
+    MISSING = frozenset({3, 4})
+
+    def _orders(self, noise):
+        enum = CandidateEnumerator(
+            self.DOC0, self.MISSING, particularity=_UlpNoisyParticularity(noise)
+        )
+        return [c.keywords for c in enum.at_distance(2)]
+
+    def test_at_distance_order_stable_under_ulp_noise(self):
+        base = self._orders(0.0)
+        for noise in (1e-13, -1e-13, 3e-14):
+            assert self._orders(noise) == base
+
+    def test_equal_gains_order_by_keywords(self):
+        order = self._orders(0.0)
+        # all gains tie after quantization, so the order is exactly the
+        # deterministic keyword tie-break
+        assert order == sorted(order, key=sorted)
+
+    def test_top_by_gain_stable_under_ulp_noise(self):
+        def sample(noise):
+            enum = CandidateEnumerator(
+                self.DOC0,
+                self.MISSING,
+                particularity=_UlpNoisyParticularity(noise),
+            )
+            return [c.keywords for c in enum.top_by_gain(6)]
+
+        base = sample(0.0)
+        for noise in (1e-13, -1e-13, 3e-14):
+            assert sample(noise) == base

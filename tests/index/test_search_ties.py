@@ -1,0 +1,108 @@
+"""Tie-break stress tests for the best-first searcher.
+
+The oracle (:meth:`repro.model.scoring.Scorer` / ``Oracle``) breaks
+score ties by ascending object id over the whole dataset.  The heap
+must reproduce that even when *every* object scores identically — the
+hard case, because node upper bounds then tie the object scores and a
+node holding a smaller-id object must be expanded before any
+equal-scoring object is emitted.  A previous heap layout used an oid
+sentinel of ``-1`` for nodes, which only sorted nodes first while all
+object ids were non-negative; these tests pin the kind-level ordering
+fix with negative ids included.
+"""
+
+import pytest
+
+from repro import (
+    Dataset,
+    Oracle,
+    SetRTree,
+    SpatialKeywordQuery,
+    SpatialObject,
+    TopKSearcher,
+)
+from repro.index.kcr_tree import KcRTree
+
+
+def _equal_score_world(oids):
+    """Every object at the same location with the same doc: all scores
+    tie exactly, so ordering is decided purely by the tie-break."""
+    objects = [
+        SpatialObject(oid=oid, loc=(0.25, 0.25), doc=frozenset({1, 2}))
+        for oid in oids
+    ]
+    dataset = Dataset(objects, diagonal=2.0**0.5)
+    query = SpatialKeywordQuery(
+        loc=(0.75, 0.75), doc=frozenset({1, 2}), k=len(oids), alpha=0.5
+    )
+    return dataset, query
+
+
+OID_SETS = [
+    tuple(range(12)),  # plain ascending ids
+    tuple(range(11, -1, -1)),  # insertion order reversed
+    (-6, -5, -3, -1, 0, 2, 4, 7, 9, 11),  # negative ids in the mix
+    (-12, -11, -10, -9, -8, -7, -6, -5),  # all negative
+]
+
+
+@pytest.mark.parametrize("tree_cls", [SetRTree, KcRTree])
+@pytest.mark.parametrize("oids", OID_SETS)
+@pytest.mark.parametrize("vectorize", [True, False])
+def test_all_equal_scores_match_oracle(tree_cls, oids, vectorize):
+    dataset, query = _equal_score_world(oids)
+    tree = tree_cls(dataset, capacity=3)  # force several levels of ties
+    searcher = TopKSearcher(tree, vectorize=vectorize)
+    oracle = Oracle(dataset)
+    got = searcher.top_k(query)
+    assert [oid for _, oid in got] == oracle.top_k_ids(query)
+    # scores bit-identical to the oracle's numpy arithmetic too
+    scores = dict(zip((int(o) for o in oracle._oids), oracle.scores(query)))
+    assert all(score == scores[oid] for score, oid in got)
+
+
+@pytest.mark.parametrize("oids", OID_SETS)
+@pytest.mark.parametrize("vectorize", [True, False])
+def test_partial_k_respects_id_order(oids, vectorize):
+    """With k < n, the returned subset must be the k smallest ids."""
+    dataset, query = _equal_score_world(oids)
+    query = SpatialKeywordQuery(loc=query.loc, doc=query.doc, k=3, alpha=0.5)
+    tree = SetRTree(dataset, capacity=3)
+    searcher = TopKSearcher(tree, vectorize=vectorize)
+    got = [oid for _, oid in searcher.top_k(query)]
+    assert got == sorted(oids)[:3]
+
+
+@pytest.mark.parametrize("vectorize", [True, False])
+def test_dominators_on_tied_scores(vectorize):
+    """Rank determination counts only *strictly* better objects, so a
+    fully tied dataset yields rank 1 and no dominators."""
+    dataset, query = _equal_score_world(tuple(range(-4, 6)))
+    tree = SetRTree(dataset, capacity=3)
+    searcher = TopKSearcher(tree, vectorize=vectorize)
+    result = searcher.rank_of_missing(query, [dataset.get(0)])
+    assert result.rank == 1
+    assert result.dominators == ()
+    assert not result.aborted
+
+
+@pytest.mark.parametrize("vectorize", [True, False])
+def test_near_tie_layers(vectorize):
+    """Two exact tie groups at different scores: group order by score,
+    within-group order by id, across both index types."""
+    near = [
+        SpatialObject(oid=oid, loc=(0.2, 0.2), doc=frozenset({1, 2}))
+        for oid in (5, -2, 9)
+    ]
+    far = [
+        SpatialObject(oid=oid, loc=(0.8, 0.8), doc=frozenset({1, 2}))
+        for oid in (3, -7, 0)
+    ]
+    dataset = Dataset(near + far, diagonal=2.0**0.5)
+    query = SpatialKeywordQuery(
+        loc=(0.2, 0.2), doc=frozenset({1, 2}), k=6, alpha=0.5
+    )
+    tree = SetRTree(dataset, capacity=2)
+    searcher = TopKSearcher(tree, vectorize=vectorize)
+    got = [oid for _, oid in searcher.top_k(query)]
+    assert got == [-2, 5, 9, -7, 0, 3]

@@ -98,3 +98,44 @@ class TestRegistry:
     def test_unknown(self):
         with pytest.raises(ValueError):
             get_model("bm25")
+
+
+class TestEmptyOperandConvention:
+    """Regression pin for the module's empty-set convention: a
+    similarity (or bound) involving an empty operand is 0.0 — including
+    ``sim(∅, ∅)``, which a "two identical sets" shortcut would wrongly
+    report as 1.0.  The vectorized kernels
+    (:mod:`repro.core.vectorized`) share this convention; their parity
+    suite cross-checks it against these scalar values.
+    """
+
+    MODELS = [JACCARD, DICE, COSINE]
+    EMPTY = frozenset()
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_empty_doc(self, model):
+        assert model.similarity(self.EMPTY, B) == 0.0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_empty_query(self, model):
+        assert model.similarity(A, self.EMPTY) == 0.0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_empty_both_is_zero_not_one(self, model):
+        assert model.similarity(self.EMPTY, self.EMPTY) == 0.0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_bound_empty_union(self, model):
+        assert model.node_upper_bound(self.EMPTY, self.EMPTY, B) == 0.0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_bound_empty_query(self, model):
+        assert model.node_upper_bound(A, self.EMPTY, self.EMPTY) == 0.0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_no_division_errors_on_any_empty_combination(self, model):
+        for union in (self.EMPTY, A):
+            for inter in (self.EMPTY, union):
+                for query in (self.EMPTY, B):
+                    sim = model.node_upper_bound(union, inter, query)
+                    assert 0.0 <= sim <= 1.0

@@ -249,7 +249,10 @@ def fault_world():
     return dataset, WhyNotEngine(dataset), queries
 
 
-@pytest.mark.parametrize("seed", [7, 23, 101])
+# Seeds are chosen so the scaled schedule actually trips at least one
+# degradation against the current storage-operation stream; re-probe
+# when the op sequence changes (e.g. new per-leaf records).
+@pytest.mark.parametrize("seed", [5, 23, 101])
 def test_lifecycle_no_unflagged_deviations(seed):
     """The core containment property, per ISSUE: under a seeded mixed
     schedule, every query either succeeds on the index or degrades with
