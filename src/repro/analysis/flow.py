@@ -121,6 +121,11 @@ class FlowConfig:
         "repro.core.kcr_algorithm.KcRAlgorithm._bound_and_prune",
         "repro.index.search.TopKSearcher.top_k",
         "repro.index.search.TopKSearcher.rank_of_missing",
+        # The sharded execution path: every read-only shard operation
+        # (bound / top_k / rank / kcr_init / kcr_step) funnels through
+        # this single dispatcher, in-process in simulate mode and inside
+        # the forked worker in process mode, so one entry covers both.
+        "repro.index.sharded._worker_execute",
     )
     exception_safe_modules: Tuple[str, ...] = (
         "repro.core.engine",

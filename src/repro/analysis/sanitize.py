@@ -35,6 +35,10 @@ Violation ``kind`` values:
 ``checksum-mismatch`` record failed checksum verification (bit-rot/torn)
 ``record-missing``   referenced record no longer exists on the disk
 ``quarantined-subtree`` engine took the index out of service (health())
+``shard-orphan-file`` shard directory holds a file no manifest entry claims
+``shard-missing-file`` manifest references a shard file that is absent
+``shard-tile-overlap`` two shard tiles' MBRs overlap (object double-owned)
+``shard-ledger-mismatch`` manifest ledger_total != sum of shard ledgers
 ==================== ==============================================
 
 The walk is **corruption-tolerant**: a record that fails checksum
@@ -69,6 +73,7 @@ __all__ = [
     "SanitizerReport",
     "check_tree",
     "check_buffer_pool",
+    "check_shard_manifest",
     "scan_corruption",
     "CORRUPTION_KINDS",
 ]
@@ -470,6 +475,93 @@ def check_buffer_pool(pool: BufferPool) -> SanitizerReport:
             f"fetches={pool.fetch_count} but hits+misses="
             f"{pool.hit_count + pool.miss_count}",
         )
+    return report
+
+
+def check_shard_manifest(directory: Any) -> SanitizerReport:
+    """Validate a sharded-index manifest directory (persistence v2).
+
+    The shard layout's own invariants, checked offline from the
+    manifest alone (no dataset needed):
+
+    * every ``shard-*.json`` file in the directory is claimed by a
+      manifest entry (``shard-orphan-file``) and every claimed file
+      exists (``shard-missing-file``);
+    * tile MBRs are interior-disjoint — a point on a shared cut edge
+      routes to exactly one tile, so genuine *area* overlap means an
+      object could be double-owned (``shard-tile-overlap``);
+    * the persisted ``ledger_total`` equals the sum of the per-shard
+      ledgers, field by field (``shard-ledger-mismatch``).
+
+    A manifest that cannot be read at all raises
+    :class:`~repro.errors.PersistenceError` (storage damage, not a
+    layout bug).
+    """
+    from pathlib import Path
+
+    from ..index.sharded import KINDS, MANIFEST_NAME, _MANIFEST_VERSION
+    from ..storage.integrity import load_checked_json
+
+    path = Path(directory)
+    body = load_checked_json(
+        path / MANIFEST_NAME,
+        kind="sharded index",
+        supported_versions=(_MANIFEST_VERSION,),
+        checksum_required_from=_MANIFEST_VERSION,
+    )
+    report = SanitizerReport()
+    entries = sorted(body["shards"], key=lambda entry: entry["tid"])
+
+    claimed = set()
+    for entry in entries:
+        for kind, filename in entry["files"].items():
+            claimed.add(filename)
+            if not (path / filename).exists():
+                report.add(
+                    "shard-missing-file",
+                    f"shard {entry['tid']}",
+                    f"manifest references {filename} ({kind} tree) but the "
+                    "file is absent",
+                )
+    on_disk = {p.name for p in path.glob("shard-*.json")}
+    for orphan in sorted(on_disk - claimed):
+        report.add(
+            "shard-orphan-file",
+            "directory",
+            f"{orphan} is not referenced by any manifest entry",
+        )
+
+    rects = [(entry["tid"], Rect(*entry["rect"])) for entry in entries]
+    for i in range(len(rects)):
+        tid_a, a = rects[i]
+        for tid_b, b in rects[i + 1 :]:
+            x_overlap = min(a.max_x, b.max_x) - max(a.min_x, b.min_x)
+            y_overlap = min(a.max_y, b.max_y) - max(a.min_y, b.min_y)
+            if x_overlap > 0 and y_overlap > 0:
+                report.add(
+                    "shard-tile-overlap",
+                    f"shards {tid_a}/{tid_b}",
+                    f"tile MBRs share interior area {x_overlap * y_overlap!r}",
+                )
+
+    for kind in KINDS:
+        totals: dict = {}
+        for entry in entries:
+            for field_name, value in entry["ledger"][kind].items():
+                totals[field_name] = totals.get(field_name, 0) + value
+        stored = body["ledger_total"][kind]
+        if totals != stored:
+            diff = {
+                f: (stored.get(f), totals.get(f))
+                for f in set(stored) | set(totals)
+                if stored.get(f) != totals.get(f)
+            }
+            report.add(
+                "shard-ledger-mismatch",
+                f"ledger_total[{kind}]",
+                f"manifest total disagrees with the shard sum on "
+                f"{sorted(diff)} (stored, actual): {diff}",
+            )
     return report
 
 

@@ -11,7 +11,9 @@ Subcommands::
     repro-whynot analyze    [src/repro] [--json]     # flow / contract checker
     repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
     repro-whynot chaos      [--seed 7 --queries 200] # fault-injection harness
+    repro-whynot chaos --shards 4 --fault-shard 0    # per-shard containment
     repro-whynot bench --emit [--check baselines/]   # BENCH_fig*.json + gate
+    repro-whynot bench --emit --figures fig13 --full # 1M-object sharded sweep
 
 (Also runnable as ``python -m repro.cli ...``.)
 """
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -299,7 +302,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     schedule = MIXED.scaled(args.intensity)
     injector = FaultInjector(schedule, seed=args.seed)
     baseline = WhyNotEngine(dataset)
-    chaotic = WhyNotEngine(dataset, faults=injector)
+    if args.shards:
+        # Sharded containment leg: faults are confined to the listed
+        # shard(s); the gate below asserts only those shards degrade.
+        chaotic = WhyNotEngine(
+            dataset,
+            faults=injector,
+            shards=args.shards,
+            shard_mode=args.shard_mode,
+            fault_shards=tuple(args.fault_shard) if args.fault_shard else None,
+        )
+    else:
+        chaotic = WhyNotEngine(dataset, faults=injector)
     rng = np.random.default_rng(args.seed)
 
     crashes = 0
@@ -372,6 +386,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"injector ledger:     {health['injector']}")
     print(f"live-tree corruption findings: {corruption}")
     ok = crashes == 0 and unflagged == 0
+    if args.shards and args.fault_shard:
+        # Containment gate: every quarantined subtree must belong to a
+        # shard that was allowed to fault.  Keys look like "shard-3:kcr".
+        allowed = {f"shard-{tid}" for tid in args.fault_shard}
+        escaped = sorted(
+            key
+            for key in health["quarantined"]
+            if key.split(":", 1)[0] not in allowed
+        )
+        print(f"fault containment:   {'LEAKED ' + str(escaped) if escaped else 'OK'}"
+              f"  (allowed: {sorted(allowed)})")
+        ok = ok and not escaped
     print("CHAOS OK" if ok else "CHAOS FAILED")
     return 0 if ok else 1
 
@@ -406,6 +432,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "full", False):
+        os.environ["REPRO_BENCH_FULL"] = "1"
+
     from .experiments import benchflows
 
     names = args.figures or sorted(benchflows.FIGURES)
@@ -585,6 +614,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="kcr",
         help="why-not method for the answer checks",
     )
+    p_chaos.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the chaotic engine over N spatial shards (0 = unsharded)",
+    )
+    p_chaos.add_argument(
+        "--shard-mode",
+        default="simulate",
+        choices=("simulate", "process"),
+        help="per-shard parallelism mode for the sharded engine",
+    )
+    p_chaos.add_argument(
+        "--fault-shard",
+        type=int,
+        action="append",
+        help="confine faults to this shard id (repeatable); enables the "
+        "containment gate asserting only listed shards degrade",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_bench = sub.add_parser(
@@ -625,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="inflate recorded latencies by this factor (negative "
         "control for the gate; scaled payloads are stamped)",
+    )
+    p_bench.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size sharded scalability sweep (1M+ objects, "
+        "process mode); equivalent to REPRO_BENCH_FULL=1",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

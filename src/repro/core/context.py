@@ -11,7 +11,7 @@ paper holds fixed across algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import Any, FrozenSet, Tuple
 
 from ..errors import MissingObjectError, ensure_not_none
 from ..index.rtree import RTreeBase
@@ -35,7 +35,10 @@ class QuestionContext:
 
     question: WhyNotQuestion
     dataset: Dataset
-    searcher: TopKSearcher
+    #: A :class:`TopKSearcher` for plain trees; a tree that provides its
+    #: own search backend (``searcher_for(model)``, e.g. the sharded
+    #: index views) supplies that instead — same surface, same scores.
+    searcher: Any
     missing: Tuple[SpatialObject, ...]
     initial_rank: int  # R(M, q)
     penalty_model: PenaltyModel
@@ -60,7 +63,14 @@ class QuestionContext:
         dataset = tree.dataset
         query = question.query
         missing = tuple(dataset.get(oid) for oid in question.missing)
-        searcher = TopKSearcher(tree, model)
+        searcher_factory = getattr(tree, "searcher_for", None)
+        if searcher_factory is not None:
+            # Sharded index views dispatch rank searches across their
+            # shards; the merged result is bit-identical to a single
+            # tree's, so every algorithm above this line is unchanged.
+            searcher = searcher_factory(model)
+        else:
+            searcher = TopKSearcher(tree, model)
         rank_result = searcher.rank_of_missing(query, missing)
         # No stop limit was set, so a rank always exists.
         initial_rank = ensure_not_none(

@@ -78,6 +78,9 @@ TREE_OF_METHOD: Dict[str, str] = {
 class WhyNotEngine:
     """Facade over the dataset, the indexes, and the five algorithms."""
 
+    #: Methods available when the engine runs over a sharded index.
+    SHARDED_METHODS = ("basic", "advanced", "kcr")
+
     def __init__(
         self,
         dataset: Dataset,
@@ -86,6 +89,9 @@ class WhyNotEngine:
         similarity: str = "jaccard",
         buffer_fraction: Optional[float] = 0.25,
         faults: Optional[FaultInjector] = None,
+        shards: Optional[int] = None,
+        shard_mode: str = "simulate",
+        fault_shards: Optional[Sequence[int]] = None,
     ) -> None:
         """``buffer_fraction`` re-sizes each index's buffer pool to that
         fraction of the index's on-disk pages (min 32), preserving the
@@ -94,17 +100,41 @@ class WhyNotEngine:
         ``faults`` attaches a deterministic fault schedule: each index
         gets an independent fork, and rebuilt indexes (after
         :meth:`recover`) get fresh forks so recovery does not replay
-        the exact faults that broke them."""
+        the exact faults that broke them.
+
+        ``shards=N`` partitions the dataset across ``N`` STR tiles and
+        answers ``basic``/``advanced``/``kcr`` questions (and top-k
+        queries) by per-shard fan-out with bit-identical results;
+        ``shard_mode`` picks between the deterministic makespan
+        simulation (``"simulate"``) and real forked workers
+        (``"process"``).  With faults attached, ``fault_shards``
+        restricts injection to those shard ids — the containment story:
+        only the faulted shard degrades.  The sharded engine is
+        read-only (no insert/remove)."""
+        if shards is not None and shards < 1:
+            raise InvalidParameterError(
+                f"shards must be >= 1 when set, got {shards}"
+            )
         self.dataset = dataset
         self.capacity = capacity
         self.model: SimilarityModel = get_model(similarity)
         self.buffer_fraction = buffer_fraction
         self.faults = faults
+        self.shards = shards
+        self.shard_mode = shard_mode
+        self.fault_shards = (
+            None if fault_shards is None else tuple(fault_shards)
+        )
         self._setr: Optional[SetRTree] = None
         self._kcr: Optional[KcRTree] = None
+        self._sharded: Optional[Any] = None
         self._quarantined: Dict[str, List[FaultEvent]] = {}
         self._rebuilds: Dict[str, int] = {"setr": 0, "kcr": 0}
         self._scan: Optional[ScanFallback] = None
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.shards is not None
 
     def _apply_buffer_policy(self, tree):
         if self.buffer_fraction is not None:
@@ -150,6 +180,52 @@ class WhyNotEngine:
         return self._kcr
 
     @property
+    def sharded_index(self) -> Any:
+        """The shard set, built on first use (``shards=N`` engines)."""
+        if not self.is_sharded:
+            raise InvalidParameterError(
+                "this engine was not constructed with shards=N"
+            )
+        if self._sharded is None:
+            # Imported lazily: repro.index.sharded reaches back into
+            # repro.core for FaultEvent and the KcR driver.
+            from ..index.sharded import ShardedIndex
+
+            self._sharded = ShardedIndex.build(
+                self.dataset,
+                self.shards,
+                mode=self.shard_mode,
+                capacity=self.capacity,
+                buffer_fraction=self.buffer_fraction,
+                faults=self.faults,
+                fault_shards=self.fault_shards,
+            )
+        return self._sharded
+
+    def attach_sharded_index(self, index: Any) -> None:
+        """Adopt a pre-built shard set (e.g. from ``build_streaming``).
+
+        Saves a redundant in-memory rebuild when the caller already
+        paid for a streaming bulk load.  The index must match this
+        engine's configuration exactly — answers are served from it.
+        """
+        if not self.is_sharded:
+            raise InvalidParameterError(
+                "this engine was not constructed with shards=N"
+            )
+        if len(index.shards) != self.shards or index.mode != self.shard_mode:
+            raise InvalidParameterError(
+                f"shard set ({len(index.shards)} shards, {index.mode!r} mode)"
+                f" does not match engine (shards={self.shards},"
+                f" shard_mode={self.shard_mode!r})"
+            )
+        if index.dataset is not self.dataset:
+            raise InvalidParameterError(
+                "shard set was built over a different dataset object"
+            )
+        self._sharded = index
+
+    @property
     def scan_fallback(self) -> ScanFallback:
         """The index-free exact fallback (shared, stateless)."""
         if self._scan is None:
@@ -161,7 +237,17 @@ class WhyNotEngine:
     # ------------------------------------------------------------------
     @property
     def quarantined(self) -> Dict[str, Tuple[FaultEvent, ...]]:
-        """Quarantined index names mapped to the faults that broke them."""
+        """Quarantined index names mapped to the faults that broke them.
+
+        Sharded engines quarantine per shard tree: keys are
+        ``"shard-<tid>:<kind>"``, and every other shard stays live."""
+        if self.is_sharded:
+            if self._sharded is None:
+                return {}
+            grouped: Dict[str, List[FaultEvent]] = {}
+            for event in self._sharded.runtime.fault_events:
+                grouped.setdefault(event.tree, []).append(event)
+            return {name: tuple(events) for name, events in grouped.items()}
         return {name: tuple(events) for name, events in self._quarantined.items()}
 
     def _quarantine(self, name: str, operation: str, exc: StorageError) -> None:
@@ -184,6 +270,12 @@ class WhyNotEngine:
         fork so the rebuilt tree does not replay the exact schedule
         that broke it.  Returns the fault events that were cleared.
         """
+        if self.is_sharded:
+            if self._sharded is None:
+                return ()
+            cleared = tuple(self._sharded.runtime.fault_events)
+            self._sharded.recover()
+            return cleared
         cleared = tuple(
             event
             for events in self._quarantined.values()
@@ -211,6 +303,21 @@ class WhyNotEngine:
         from ..analysis.sanitize import SanitizerReport, scan_corruption
 
         corruption: Dict[str, Any] = {}
+        if self.is_sharded:
+            for name, events in self.quarantined.items():
+                report = SanitizerReport()
+                for event in events:
+                    report.add(
+                        "quarantined-subtree", f"tree {name}", event.format()
+                    )
+                corruption[name] = report
+            return {
+                "quarantined": self.quarantined,
+                "corruption": corruption,
+                "injector": (
+                    None if self.faults is None else self.faults.summary()
+                ),
+            }
         for name, tree in (("setr", self._setr), ("kcr", self._kcr)):
             if name in self._quarantined:
                 report = SanitizerReport()
@@ -226,11 +333,27 @@ class WhyNotEngine:
         }
 
     def reset_buffers(self) -> None:
-        """Cold-start both indexes' buffer pools (between experiments)."""
+        """Cold-start every index's buffer pools (between experiments)."""
+        if self.is_sharded:
+            if self._sharded is not None:
+                self._sharded.reset_buffers()
+            return
         if self._setr is not None:
             self._setr.reset_buffer()
         if self._kcr is not None:
             self._kcr.reset_buffer()
+
+    def close(self) -> None:
+        """Release shard workers (a no-op for unsharded engines)."""
+        if self._sharded is not None:
+            self._sharded.close()
+
+    def _reject_sharded_mutation(self, operation: str) -> None:
+        if self.is_sharded:
+            raise InvalidParameterError(
+                f"{operation} is not supported on a sharded engine; "
+                "shards are read-only after bulk load"
+            )
 
     def insert(self, obj: SpatialObject) -> None:
         """Add an object to the dataset and every built index.
@@ -245,6 +368,7 @@ class WhyNotEngine:
         authoritative, still gains the object); queries degrade to the
         fallback until :meth:`recover` rebuilds the index.
         """
+        self._reject_sharded_mutation("insert")
         self.dataset.add(obj)
         self._mutate_tree("setr", f"insert:{obj.oid}", lambda t: t.insert(obj))
         self._mutate_tree("kcr", f"insert:{obj.oid}", lambda t: t.insert(obj))
@@ -255,6 +379,7 @@ class WhyNotEngine:
         Like :meth:`insert`, a storage fault mid-deletion quarantines
         the affected index instead of propagating.
         """
+        self._reject_sharded_mutation("remove")
         obj = self.dataset.get(oid)
         self._mutate_tree("setr", f"remove:{oid}", lambda t: t.delete(obj))
         self._mutate_tree("kcr", f"remove:{oid}", lambda t: t.delete(obj))
@@ -300,7 +425,22 @@ class WhyNotEngine:
         Runs over the SetR-tree; on an unrecoverable storage fault the
         index is quarantined and the query re-runs on the index-free
         scan, yielding an exact but ``degraded``-flagged outcome.
+        Sharded engines fan the query across shards; a faulted shard's
+        partition is served by the exact scan (only that shard
+        degrades) and the merged answer is still bit-identical.
         """
+        if self.is_sharded:
+            index = self.sharded_index
+            index.ensure_built("setr", self.model)
+            results = index.searcher("setr", self.model).top_k(query)
+            index.runtime.consume_discount()
+            if index.runtime.down:
+                return TopKOutcome(
+                    results=results,
+                    degraded=True,
+                    events=tuple(index.runtime.fault_events),
+                )
+            return TopKOutcome(results=results)
         if "setr" not in self._quarantined:
             try:
                 return TopKOutcome(
@@ -345,6 +485,13 @@ class WhyNotEngine:
             raise InvalidParameterError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
+        if self.is_sharded:
+            if method not in self.SHARDED_METHODS:
+                raise InvalidParameterError(
+                    f"method {method!r} is not available on a sharded "
+                    f"engine; expected one of {self.SHARDED_METHODS}"
+                )
+            return self._sharded_answer(question, method, options)
         tree_name = self._method_tree(method, options)
         if tree_name in self._quarantined:
             return self._degraded_answer(question, method, tree_name)
@@ -355,6 +502,44 @@ class WhyNotEngine:
         except StorageError as exc:
             self._quarantine(tree_name, f"answer:{method}", exc)
             return self._degraded_answer(question, method, tree_name)
+
+    def _sharded_answer(
+        self,
+        question: WhyNotQuestion,
+        method: str,
+        options: Dict[str, Any],
+    ) -> WhyNotAnswer:
+        """Fan one question across the shard set.
+
+        Storage faults never propagate: the searchers and the KcR
+        driver contain them per shard (exact scan substitution), so the
+        answer is always the bit-exact one — flagged ``degraded`` while
+        any shard is down.  The accrued fan-out discount (``Σ busy −
+        max busy`` per parallel region) is subtracted here, reporting
+        the makespan-simulated elapsed time.
+        """
+        index = self.sharded_index
+        kind = "kcr" if method == "kcr" else "setr"
+        index.ensure_built(kind, self.model)
+        if method == "basic":
+            answer = BasicAlgorithm(index.view("setr"), self.model).answer(
+                question
+            )
+        elif method == "advanced":
+            answer = AdvancedAlgorithm(
+                index.view("setr"), self.model, **options
+            ).answer(question)
+        else:
+            from .kcr_sharded import ShardedKcRAlgorithm
+
+            answer = ShardedKcRAlgorithm(index, self.model).answer(question)
+        answer.elapsed_seconds = max(
+            0.0, answer.elapsed_seconds - index.runtime.consume_discount()
+        )
+        if index.runtime.down:
+            answer.degraded = True
+            answer.fault_events = tuple(index.runtime.fault_events)
+        return answer
 
     def _degraded_answer(
         self, question: WhyNotQuestion, method: str, tree_name: str

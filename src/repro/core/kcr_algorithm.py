@@ -36,9 +36,10 @@ from ..model.similarity import JACCARD, SimilarityModel
 from .bounds import NodeTextStats, max_dom, min_dom
 from .candidates import Candidate
 from .context import QuestionContext
+from .penalty import PenaltyModel
 from .result import RefinedQuery, SearchCounters, WhyNotAnswer
 
-__all__ = ["KcRAlgorithm"]
+__all__ = ["KcRAlgorithm", "sweep_candidates"]
 
 KeywordSet = FrozenSet[int]
 
@@ -435,43 +436,82 @@ class KcRAlgorithm:
     def _sweep_candidates(
         self,
         states: Sequence[_CandidateState],
-        penalty_model,
+        penalty_model: PenaltyModel,
         best: RefinedQuery,
         best_owner: Optional[_CandidateState],
         counters: SearchCounters,
     ) -> Tuple[RefinedQuery, Optional[_CandidateState]]:
-        """Lines 20-26: update the incumbent and prune candidates.
+        return sweep_candidates(states, penalty_model, best, best_owner, counters)
 
-        The incumbent snapshot is refreshed not only when another
-        candidate strictly improves the penalty, but also when the
-        snapshot's *own* rank bound tightens at an unchanged penalty —
-        the penalty is flat for ranks at or below ``k₀``, and without
-        the refresh the reported rank/k' would freeze at the first
-        (loose) bound instead of converging to the exact value.
-        """
-        for state in states:
-            if not state.alive:
-                continue
-            rank_upper = state.rank_upper()
-            pn_upper = penalty_model.penalty(state.candidate.delta_doc, rank_upper)
-            improves = pn_upper < best.penalty
-            owner_refresh = state is best_owner and rank_upper != best.rank
-            if improves or owner_refresh:
-                best = RefinedQuery(
-                    keywords=state.candidate.keywords,
-                    k=penalty_model.refined_k(rank_upper),
-                    delta_doc=state.candidate.delta_doc,
-                    rank=rank_upper,
-                    penalty=pn_upper,
-                )
-                best_owner = state
-        for state in states:
-            if not state.alive:
-                continue
-            pn_lower = penalty_model.penalty(
-                state.candidate.delta_doc, state.rank_lower()
+
+def sweep_candidates(
+    states: Sequence[_CandidateState],
+    penalty_model: PenaltyModel,
+    best: RefinedQuery,
+    best_owner: Optional[_CandidateState],
+    counters: SearchCounters,
+) -> Tuple[RefinedQuery, Optional[_CandidateState]]:
+    """Lines 20-26: update the incumbent and prune candidates.
+
+    Shared between the single-tree traversal above and the sharded
+    driver (:mod:`repro.core.kcr_sharded`), whose per-round node
+    schedule differs from the single tree's per-node schedule — the
+    sweep must therefore be *schedule-independent* so both engines
+    report the identical incumbent.
+
+    The incumbent snapshot is refreshed not only when another
+    candidate strictly improves the penalty, but also when the
+    snapshot's *own* rank bound tightens at an unchanged penalty —
+    the penalty is flat for ranks at or below ``k₀``, and without
+    the refresh the reported rank/k' would freeze at the first
+    (loose) bound instead of converging to the exact value.
+
+    **Equal-penalty tie-break.**  When a candidate's penalty upper
+    bound *ties* the incumbent and the incumbent's owner sits later in
+    the same batch, ownership moves to the earlier candidate.  Penalty
+    upper bounds only tighten, so the final owner is always the
+    lowest-batch-index candidate among those reaching the minimal
+    penalty — a property of the batch alone, not of the order in which
+    tree nodes refined the bounds.  (An owner from an earlier distance
+    batch is not in ``states`` and keeps the tie, matching AdvancedBS's
+    first-in-enumeration-order rule.)  Pruning is unaffected: it
+    compares against ``best.penalty``, which a tie cannot change.
+    """
+    owner_index: Optional[int] = None
+    if best_owner is not None:
+        for s_index, state in enumerate(states):
+            if state is best_owner:
+                owner_index = s_index
+                break
+    for s_index, state in enumerate(states):
+        if not state.alive:
+            continue
+        rank_upper = state.rank_upper()
+        pn_upper = penalty_model.penalty(state.candidate.delta_doc, rank_upper)
+        improves = pn_upper < best.penalty
+        displaces = (
+            pn_upper == best.penalty  # lint: exact-float — bit-equal tie
+            and owner_index is not None
+            and s_index < owner_index
+        )
+        owner_refresh = state is best_owner and rank_upper != best.rank
+        if improves or displaces or owner_refresh:
+            best = RefinedQuery(
+                keywords=state.candidate.keywords,
+                k=penalty_model.refined_k(rank_upper),
+                delta_doc=state.candidate.delta_doc,
+                rank=rank_upper,
+                penalty=pn_upper,
             )
-            if pn_lower > best.penalty:
-                state.alive = False
-                counters.pruned_by_bounds += 1
-        return best, best_owner
+            best_owner = state
+            owner_index = s_index
+    for state in states:
+        if not state.alive:
+            continue
+        pn_lower = penalty_model.penalty(
+            state.candidate.delta_doc, state.rank_lower()
+        )
+        if pn_lower > best.penalty:
+            state.alive = False
+            counters.pruned_by_bounds += 1
+    return best, best_owner

@@ -20,6 +20,7 @@ shared incumbent; it demonstrates correctness of the synchronisation
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -44,14 +45,19 @@ def makespan(unit_times: Sequence[float], n_workers: int) -> float:
     """Greedy list-scheduling makespan of ``unit_times`` on ``n_workers``.
 
     Units are assigned in order to the least-loaded worker — the
-    schedule a work-sharing pool converges to.
+    schedule a work-sharing pool converges to.  The worker set is a
+    min-heap of ``(load, worker_index)`` pairs, so each assignment is
+    O(log T) instead of the O(T) ``loads.index(min(loads))`` scan; the
+    index component reproduces the scan's tie rule exactly (among
+    equally-loaded workers, the lowest index wins).
     """
     if n_workers <= 0:
         raise InvalidParameterError(f"need at least one worker, got {n_workers}")
-    loads = [0.0] * n_workers
+    loads: List[Tuple[float, int]] = [(0.0, worker) for worker in range(n_workers)]
     for unit in unit_times:
-        loads[loads.index(min(loads))] += unit
-    return max(loads)
+        load, worker = loads[0]
+        heapq.heapreplace(loads, (load + unit, worker))
+    return max(load for load, _ in loads)
 
 
 class ParallelAdvanced:

@@ -10,6 +10,13 @@ from .synthetic import (
     make_gn_like,
     make_micro_example,
 )
+from .stream import (
+    ObjectStream,
+    object_stream,
+    stream_euro_like,
+    stream_gn_like,
+    synthetic_stream,
+)
 from .vocabulary import Vocabulary
 
 __all__ = [
@@ -26,4 +33,9 @@ __all__ = [
     "DEFAULT_STOPWORDS",
     "normalize_keywords",
     "tokenize",
+    "ObjectStream",
+    "object_stream",
+    "stream_euro_like",
+    "stream_gn_like",
+    "synthetic_stream",
 ]

@@ -1,0 +1,171 @@
+"""Bounded-memory dataset streams for the sharded bulk loader.
+
+The streaming STR loader (:mod:`repro.index.sharded`) consumes object
+*iterators* instead of materialised datasets, so scalability sweeps can
+build shard sets far larger than working memory.  This module provides
+the iterator side:
+
+* :func:`synthetic_stream` — generate a synthetic dataset in fixed-size
+  batches, each batch drawn from its own derived RNG so the stream is
+  deterministic, restartable, and never holds more than one batch.
+* :func:`stream_euro_like` / :func:`stream_gn_like` — the EURO/GN
+  substitute configurations of :mod:`repro.data.synthetic` as streams.
+* :func:`object_stream` — adapt an in-memory :class:`Dataset`.
+
+A stream here is a zero-argument callable returning a fresh iterator
+(the loader makes two passes: one to sample a tile plan, one to route
+objects into tiles), mirroring how an on-disk dataset would be scanned
+twice.
+
+Note that a batched stream is *not* item-for-item identical to the
+one-shot :func:`repro.data.synthetic.generate` draw of the same size —
+batch RNGs are derived per batch.  It is drawn from the same
+distribution (same cluster/Zipf knobs, same pinned vocabulary size), and
+the sharded scalability benchmarks use the stream as the single source
+of truth for both the sharded and unsharded series, so comparisons stay
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..model.objects import Dataset, SpatialObject
+from .synthetic import (
+    SyntheticConfig,
+    _SPACE_DIAGONAL,
+    _sample_documents,
+    _sample_locations,
+)
+
+__all__ = [
+    "ObjectStream",
+    "SPACE_DIAGONAL",
+    "object_stream",
+    "stream_euro_like",
+    "stream_gn_like",
+    "synthetic_stream",
+]
+
+#: Diagonal of the generation space (the unit square); every stream
+#: batch is drawn from this space, so shard datasets normalise with it.
+SPACE_DIAGONAL = _SPACE_DIAGONAL
+
+#: A restartable object source: call it to get a fresh iterator.
+ObjectStream = Callable[[], Iterator[SpatialObject]]
+
+DEFAULT_BATCH_SIZE = 20_000
+
+
+class _PinnedVocabConfig(SyntheticConfig):
+    """A batch-sized config that keeps the full stream's vocabulary.
+
+    ``SyntheticConfig.vocab_size`` scales with ``n_objects``; a batch
+    drawn with a batch-sized vocabulary would have the wrong keyword
+    skew, so the stream pins every batch to the whole stream's size.
+    """
+
+    def __init__(self, base: SyntheticConfig, batch_n: int) -> None:
+        super().__init__(
+            n_objects=batch_n,
+            vocab_per_object=base.vocab_per_object,
+            doc_length_range=base.doc_length_range,
+            cluster_fraction=base.cluster_fraction,
+            n_clusters=base.n_clusters,
+            cluster_spread=base.cluster_spread,
+            zipf_exponent=base.zipf_exponent,
+            name=base.name,
+        )
+        self._pinned_vocab_size = base.vocab_size
+
+    @property
+    def vocab_size(self) -> int:
+        return self._pinned_vocab_size
+
+
+def synthetic_stream(
+    config: SyntheticConfig,
+    seed: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[SpatialObject]:
+    """Yield ``config.n_objects`` synthetic objects, one batch at a time.
+
+    Each batch uses an RNG seeded with ``(seed, batch_index)`` so any
+    prefix of the stream is reproducible without generating the rest,
+    and restarting the stream replays it exactly.  Object ids are the
+    global stream positions, matching :func:`repro.data.synthetic
+    .generate`'s id convention.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    total = config.n_objects
+    base_seed = 0 if seed is None else int(seed)
+    offset = 0
+    for batch_index in range(math.ceil(total / batch_size)):
+        batch_n = min(batch_size, total - offset)
+        rng = np.random.default_rng((base_seed, batch_index))
+        batch_config = _PinnedVocabConfig(config, batch_n)
+        locations = _sample_locations(batch_config, rng)
+        documents = _sample_documents(batch_config, rng)
+        for i, ((x, y), doc) in enumerate(zip(locations, documents)):
+            yield SpatialObject(
+                oid=offset + i, loc=(float(x), float(y)), doc=doc
+            )
+        offset += batch_n
+
+
+def _config_stream(
+    config: SyntheticConfig,
+    seed: Optional[int],
+    batch_size: int,
+) -> ObjectStream:
+    return lambda: synthetic_stream(config, seed=seed, batch_size=batch_size)
+
+
+def stream_euro_like(
+    n_objects: int,
+    seed: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Tuple[ObjectStream, SyntheticConfig]:
+    """EURO-substitute stream (same knobs as ``make_euro_like``)."""
+    config = SyntheticConfig(
+        n_objects=n_objects,
+        vocab_per_object=0.22,
+        doc_length_range=(2, 8),
+        cluster_fraction=0.85,
+        n_clusters=max(8, n_objects // 300),
+        cluster_spread=0.02,
+        zipf_exponent=1.0,
+        name="euro-like-stream",
+    )
+    return _config_stream(config, seed, batch_size), config
+
+
+def stream_gn_like(
+    n_objects: int,
+    seed: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Tuple[ObjectStream, SyntheticConfig]:
+    """GN-substitute stream (same knobs as ``make_gn_like``)."""
+    config = SyntheticConfig(
+        n_objects=n_objects,
+        vocab_per_object=0.12,
+        doc_length_range=(1, 4),
+        cluster_fraction=0.30,
+        n_clusters=max(8, n_objects // 800),
+        cluster_spread=0.04,
+        zipf_exponent=1.1,
+        name="gn-like-stream",
+    )
+    return _config_stream(config, seed, batch_size), config
+
+
+def object_stream(source: Iterable[SpatialObject]) -> ObjectStream:
+    """Adapt an in-memory dataset (or any re-iterable) to a stream."""
+    if isinstance(source, Dataset):
+        return lambda: iter(source.objects)
+    materialised = tuple(source)
+    return lambda: iter(materialised)

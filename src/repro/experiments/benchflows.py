@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import statistics
 import sys
 import time
@@ -178,6 +179,63 @@ def whynot_unit(
     record["penalty"] = round(answer.refined.penalty, 6)
     record["initial_rank"] = answer.initial_rank
     return record
+
+
+def sharded_whynot_unit(
+    harness: EmitterHarness,
+    case: WorkloadCase,
+    *,
+    kind: str = "gn",
+    size: int = 1500,
+    shards: int = 4,
+    mode: str = "simulate",
+    method: str = "advanced",
+    rounds: int = DEFAULT_ROUNDS,
+    engine: Optional[WhyNotEngine] = None,
+    reference: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One cold-buffer why-not query over a sharded engine.
+
+    The recorded latency is the engine's ``answer.elapsed_seconds``,
+    which follows the makespan convention of ``repro.core.parallel``:
+    each shard fan-out round contributes driver time plus the *slowest
+    shard's CPU busy* — the slack a round would have overlapped across
+    workers is discounted whether the overlap was simulated in-process
+    or dispatched to real worker processes (whose wall-clock overlap
+    depends on the host's core count and is therefore not what the
+    baseline pins).  Unsharded units keep plain wall time; the two
+    agree on a serial host by construction.  ``reference`` (the
+    matching unsharded unit) stamps a ``parity_with_unsharded`` flag —
+    sharded execution is bit-identical by contract, so ``False`` here
+    is a correctness bug, not noise.
+    """
+    owned = engine is None
+    if engine is None:
+        base = harness.engine(kind, size)
+        engine = WhyNotEngine(base.dataset, shards=shards, shard_mode=mode)
+    try:
+        engine.answer(case.question, method=method)  # build outside timing
+        durations = []
+        answer = None
+        for _ in range(rounds):
+            engine.reset_buffers()
+            answer = engine.answer(case.question, method=method)
+            durations.append(answer.elapsed_seconds)
+        record = _latency_stats(durations)
+        record["io"] = dataclasses.asdict(answer.io)
+        record["penalty"] = round(answer.refined.penalty, 6)
+        record["initial_rank"] = answer.initial_rank
+        record["shards"] = shards
+        record["shard_mode"] = mode
+        if reference is not None:
+            record["parity_with_unsharded"] = (
+                record["penalty"] == reference.get("penalty")
+                and record["initial_rank"] == reference.get("initial_rank")
+            )
+        return record
+    finally:
+        if owned:
+            engine.close()
 
 
 def leaf_scoring_unit(
@@ -383,7 +441,131 @@ def _build_fig13(harness: EmitterHarness, rounds: int) -> _BuildResult:
         units[f"n={size}:leaf_scoring"] = leaf_scoring_unit(
             harness, kind="gn", size=size
         )
-    return units, {"kind": "gn-like", "sizes": list(sizes)}, skipped
+
+    # Sharded series: the same workload at the largest default size,
+    # fanned out over 2/4/8 spatial shards in simulate mode.  Answers
+    # are bit-identical to the unsharded engine by contract, so each
+    # unit carries a parity flag against the unsharded unit above.
+    shard_size = sizes[-1]
+    shard_case = harness.case(
+        f"fig13-{shard_size}",
+        kind="gn",
+        size=shard_size,
+        k0=10,
+        n_keywords=3,
+        alpha=0.5,
+        lam=0.5,
+        max_extra_keywords=3,
+    )
+    reference = units.get(f"n={shard_size}:advanced")
+    for n_shards in (2, 4, 8):
+        units[f"n={shard_size}:shards={n_shards}:advanced"] = (
+            sharded_whynot_unit(
+                harness,
+                shard_case,
+                kind="gn",
+                size=shard_size,
+                shards=n_shards,
+                mode="simulate",
+                rounds=rounds,
+                reference=reference,
+            )
+        )
+
+    meta: Dict[str, Any] = {"kind": "gn-like", "sizes": list(sizes)}
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        units.update(_fig13_full_units(rounds))
+        meta["full_size"] = FULL_SWEEP_SIZE
+    else:
+        for name in FULL_SWEEP_UNITS:
+            skipped.append(
+                f"{name}: requires REPRO_BENCH_FULL=1 (streaming "
+                f"{FULL_SWEEP_SIZE:,}-object build; run "
+                f"`repro-whynot bench --figures fig13 --full`)"
+            )
+    return units, meta, skipped
+
+
+#: Full-sweep knobs for the ``REPRO_BENCH_FULL=1`` / ``bench --full``
+#: leg: a streaming STR bulk load at a million objects, then the
+#: advanced method unsharded versus fanned out over eight shards with
+#: real worker processes.
+FULL_SWEEP_SIZE = 1_000_000
+FULL_SWEEP_SHARDS = 8
+FULL_SWEEP_UNITS = (
+    f"n={FULL_SWEEP_SIZE}:unsharded:advanced",
+    f"n={FULL_SWEEP_SIZE}:shards={FULL_SWEEP_SHARDS}:process:advanced",
+)
+
+
+def _fig13_full_units(rounds: int) -> _Units:
+    """The million-object sharded-versus-unsharded pair.
+
+    The shard set comes from the streaming loader (two passes over the
+    generator stream, never the whole dataset resident in the loader),
+    and the engine adopts it directly instead of rebuilding in memory.
+    """
+    from ..data.stream import stream_gn_like
+    from ..index.sharded import ShardedIndex
+
+    stream, config = stream_gn_like(FULL_SWEEP_SIZE, seed=BENCH_SEED)
+    # A larger plan sample than the loader default: at a million
+    # objects the 2k-point reservoir's quantile error skews tile sizes
+    # by ~15%, and the slowest tile is the makespan — 8k points keep
+    # the resident bound trivial while halving the imbalance.
+    index, load_stats = ShardedIndex.build_streaming(
+        stream,
+        FULL_SWEEP_SHARDS,
+        name=config.name,
+        mode="process",
+        sample_size=8_192,
+        seed=BENCH_SEED,
+    )
+    dataset = index.dataset
+    generator = WorkloadGenerator(
+        dataset, seed=_case_seed(("fig13-full", FULL_SWEEP_SIZE))
+    )
+    case = generator.generate(
+        1, k0=10, n_keywords=3, alpha=0.5, lam=0.5, max_extra_keywords=3
+    )[0]
+
+    units: _Units = {}
+    # Second-long units amortise extra rounds into noise-free medians;
+    # the smoke figures keep the caller's (cheaper) round count.
+    rounds = max(rounds, 5)
+    unsharded = WhyNotEngine(dataset)
+    _ = unsharded.setr_tree  # build the index outside timed regions
+    durations, answer = _measure(
+        lambda: unsharded.answer(case.question, method="advanced"),
+        rounds,
+        setup=unsharded.reset_buffers,
+    )
+    record = _latency_stats(durations)
+    record["io"] = dataclasses.asdict(answer.io)
+    record["penalty"] = round(answer.refined.penalty, 6)
+    record["initial_rank"] = answer.initial_rank
+    units[FULL_SWEEP_UNITS[0]] = record
+
+    engine = WhyNotEngine(
+        dataset, shards=FULL_SWEEP_SHARDS, shard_mode="process"
+    )
+    engine.attach_sharded_index(index)
+    sharded = sharded_whynot_unit(
+        EmitterHarness(),  # unused: engine is supplied
+        case,
+        shards=FULL_SWEEP_SHARDS,
+        mode="process",
+        rounds=rounds,
+        engine=engine,
+        reference=record,
+    )
+    sharded["speedup_vs_unsharded"] = round(
+        record["p50_ms"] / sharded["p50_ms"], 2
+    )
+    sharded["load_stats"] = dataclasses.asdict(load_stats)
+    units[FULL_SWEEP_UNITS[1]] = sharded
+    engine.close()
+    return units
 
 
 FIGURES: Dict[str, Callable[[EmitterHarness, int], _BuildResult]] = {
@@ -480,6 +662,12 @@ def emit_figure(
         )
     if harness is None:
         harness = EmitterHarness()
+    # Calibration brackets the unit runs: the host's effective speed
+    # drifts over the minutes a figure takes (shared-CPU container),
+    # and a single instantaneous sample mis-normalizes every unit
+    # measured at a different speed.  The mean of a before and an
+    # after sample tracks the speed the units actually saw.
+    cal_before = _calibration_ms()
     units, dataset_meta, skipped = builder(harness, rounds)
     if scale != 1.0:
         for record in units.values():
@@ -487,7 +675,7 @@ def emit_figure(
     payload: Dict[str, Any] = {
         "benchmark": name,
         "seed": BENCH_SEED,
-        "calibration_ms": _calibration_ms(),
+        "calibration_ms": round((cal_before + _calibration_ms()) / 2.0, 4),
         "dataset": dataset_meta,
         "units": units,
         "skipped": skipped,
@@ -549,16 +737,25 @@ def compare(
       storage accounting is deterministic, so a changed page-read count
       is a behavioural regression regardless of timing.
 
-    Units new in the candidate pass; units missing from it fail.
+    Units new in the candidate pass.  Units missing from it fail —
+    unless the candidate's ``skipped`` list declares the omission (an
+    entry prefixed with the unit name), which covers emitter-declared
+    gates like the BS candidate-space cap and the ``REPRO_BENCH_FULL``
+    million-object sweep.
     """
     failures: List[str] = []
     cal_base = float(baseline.get("calibration_ms") or 1.0)
     cal_cand = float(candidate.get("calibration_ms") or 1.0)
     unit_slack = 1.0 + UNIT_GATE_SLACK * tolerance
+    cand_skipped = tuple(candidate.get("skipped", ()))
     ratios: List[float] = []
     for unit_name, base_unit in sorted(baseline.get("units", {}).items()):
         cand_unit = candidate.get("units", {}).get(unit_name)
         if cand_unit is None:
+            if any(
+                entry.startswith(f"{unit_name}:") for entry in cand_skipped
+            ):
+                continue  # declared, gated omission — not a regression
             failures.append(f"{unit_name}: unit missing from candidate run")
             continue
         base_records = dict(_gate_records(unit_name, base_unit))

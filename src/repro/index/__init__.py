@@ -7,6 +7,16 @@ from .persistence import load_index, save_index
 from .rtree import DEFAULT_CAPACITY, RTreeBase, TextSummary
 from .search import RankResult, TopKSearcher
 from .setr_tree import SetRTree
+from .sharded import (
+    LoadStats,
+    Shard,
+    ShardedIndex,
+    ShardedSearcher,
+    ShardedTreeView,
+    TilePlan,
+    load_sharded,
+    save_sharded,
+)
 
 __all__ = [
     "ChildEntry",
@@ -22,4 +32,12 @@ __all__ = [
     "SetRTree",
     "save_index",
     "load_index",
+    "LoadStats",
+    "Shard",
+    "ShardedIndex",
+    "ShardedSearcher",
+    "ShardedTreeView",
+    "TilePlan",
+    "save_sharded",
+    "load_sharded",
 ]

@@ -1,0 +1,120 @@
+"""Streaming STR bulk load: bounded memory, in-memory equivalence.
+
+The loader's contract is that it never holds the full dataset: pass 1
+keeps only a reservoir sample, pass 2 keeps per-tile flush buffers plus
+(at materialisation) one tile at a time.  ``LoadStats.peak_resident``
+records the high-water mark, and the bound below is structural — it
+holds for any stream, not just this one.  The second contract is that
+streaming and in-memory loads build the *same* shard set.
+"""
+
+from __future__ import annotations
+
+from repro import WhyNotEngine
+from repro.data.stream import stream_gn_like
+from repro.index.sharded import (
+    DEFAULT_SAMPLE_SIZE,
+    ShardedIndex,
+    load_tile_datasets,
+)
+
+N_OBJECTS = 6_000
+N_TILES = 6
+SAMPLE = 512
+FLUSH = 128
+
+
+class _CountingFactory:
+    """Wraps a stream factory; counts passes and concurrent iterators."""
+
+    def __init__(self, factory):
+        self._factory = factory
+        self.passes = 0
+
+    def __call__(self):
+        self.passes += 1
+        return self._factory()
+
+
+def _load(tmp_path, **kwargs):
+    stream, config = stream_gn_like(N_OBJECTS, seed=2016, batch_size=1_000)
+    factory = _CountingFactory(stream)
+    plan, tiles, stats, bounds = load_tile_datasets(
+        factory,
+        N_TILES,
+        name=config.name,
+        sample_size=kwargs.pop("sample_size", SAMPLE),
+        flush_every=kwargs.pop("flush_every", FLUSH),
+        spill_dir=tmp_path,
+        **kwargs,
+    )
+    return factory, plan, tiles, stats, bounds
+
+
+class TestStreamingLoader:
+    def test_two_passes_and_peak_bound(self, tmp_path):
+        factory, _, tiles, stats, _ = _load(tmp_path)
+        assert factory.passes == 2
+        assert stats.n_objects == N_OBJECTS
+        assert sum(len(tile) for tile in tiles) == N_OBJECTS
+        # Structural bound: reservoir sample + the largest tile + one
+        # unflushed buffer per tile.  Holding the whole stream would
+        # need N_OBJECTS resident and must violate this.
+        bound = stats.max_tile_objects + SAMPLE + N_TILES * FLUSH
+        assert stats.peak_resident <= bound
+        assert stats.peak_resident < N_OBJECTS
+
+    def test_round_trip_matches_in_memory(self, tmp_path):
+        _, plan_s, tiles_s, _, bounds_s = _load(tmp_path)
+        stream, config = stream_gn_like(N_OBJECTS, seed=2016, batch_size=1_000)
+        plan_m, tiles_m, _, bounds_m = load_tile_datasets(
+            stream,
+            N_TILES,
+            name=config.name,
+            sample_size=SAMPLE,
+            in_memory=True,
+        )
+        assert plan_s.to_payload() == plan_m.to_payload()
+        assert bounds_s == bounds_m
+        assert len(tiles_s) == len(tiles_m)
+        for tile_s, tile_m in zip(tiles_s, tiles_m):
+            assert tile_s.diagonal == tile_m.diagonal
+            assert [o.oid for o in tile_s.objects] == [
+                o.oid for o in tile_m.objects
+            ]
+            assert [o.loc for o in tile_s.objects] == [
+                o.loc for o in tile_m.objects
+            ]
+
+    def test_spill_files_cleaned_up(self, tmp_path):
+        _load(tmp_path)
+        assert list(tmp_path.glob("*")) == []
+
+    def test_build_streaming_answers_match_unsharded(self, tmp_path):
+        stream, config = stream_gn_like(N_OBJECTS, seed=2016, batch_size=1_000)
+        index, stats = ShardedIndex.build_streaming(
+            stream,
+            4,
+            name=config.name,
+            sample_size=SAMPLE,
+            flush_every=FLUSH,
+            spill_dir=tmp_path,
+        )
+        assert stats.peak_resident < N_OBJECTS
+        dataset = index.dataset
+        assert len(dataset) == N_OBJECTS
+        unsharded = WhyNotEngine(dataset)
+        obj = dataset.objects[123]
+        from repro import SpatialKeywordQuery
+
+        query = SpatialKeywordQuery(
+            loc=obj.loc, doc=frozenset(list(obj.doc)[:2]), k=10
+        )
+        searcher = index.searcher("setr")
+        assert searcher.top_k(query) == unsharded.top_k(query)
+        index.close()
+
+    def test_default_sample_size_is_bounded(self):
+        # The loader's defaults must keep the pre-pass sample small
+        # relative to the million-object target of the full sweep.
+        assert DEFAULT_SAMPLE_SIZE <= 4_096

@@ -1,0 +1,46 @@
+"""Property test: the heap-based greedy makespan is *exactly* the
+least-loaded-scan schedule it replaced — same worker choice at every
+step (including the lowest-index tie rule), hence bit-identical float
+accumulation and result."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import makespan
+
+
+def _scan_makespan(unit_times, n_workers):
+    """The original O(T·W) reference: assign each unit to the
+    least-loaded worker, lowest index winning ties."""
+    loads = [0.0] * n_workers
+    for unit in unit_times:
+        loads[loads.index(min(loads))] += unit
+    return max(loads)
+
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=300,
+)
+
+
+class TestMakespanHeapEqualsScan:
+    @given(times=durations, workers=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=300, deadline=None)
+    def test_heap_matches_scan_exactly(self, times, workers):
+        # Bit-exact equality, not approx: both algorithms must make the
+        # same assignment at every step, so the per-worker float sums
+        # are computed in the same order.
+        assert makespan(times, workers) == _scan_makespan(times, workers)
+
+    @given(times=durations, workers=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, times, workers):
+        span = makespan(times, workers)
+        total = sum(times)
+        longest = max(times) if times else 0.0
+        assert span >= longest
+        assert span >= total / workers - 1e-9 * max(1.0, total)
+        assert span <= total + 1e-9 * max(1.0, total)
