@@ -8,17 +8,15 @@ Two entry points share the same units:
 
 * ``pytest benchmarks/bench_substrate.py --benchmark-only`` — the
   interactive pytest-benchmark tables below, and
-* ``python benchmarks/bench_substrate.py [output.json]`` — a
-  dependency-free emitter that writes ``BENCH_substrate.json`` with
-  seeded p50/p99 latencies plus buffer-pool I/O counters, for CI
-  artifacts and offline diffing.
+* ``python benchmarks/bench_substrate.py [output.json]`` — delegates
+  to the ``substrate`` figure emitter in
+  :mod:`repro.experiments.benchflows`, which writes
+  ``BENCH_substrate.json`` with seeded p50/p99 latencies, buffer-pool
+  I/O counters, and the static analyzer's own runtime over
+  ``src/repro`` — all under the CI bench gate.
 """
 
-import dataclasses
-import json
-import statistics
 import sys
-import time
 
 import pytest
 
@@ -124,107 +122,18 @@ class TestBounds:
 # standalone JSON emitter
 # ----------------------------------------------------------------------
 
-DATASET_SIZE = 2000
+def emit(path="BENCH_substrate.json", scale=1.0):
+    """Delegates to the registered ``substrate`` figure emitter, which
+    adds the analyzer self-runtime units to the micro-units above."""
+    from repro.experiments.benchflows import emit_figure
 
-
-def _latency_stats(durations):
-    """p50/p99 in milliseconds from raw per-round durations."""
-    if len(durations) >= 2:
-        cuts = statistics.quantiles(durations, n=100)
-        p50, p99 = cuts[49], cuts[98]
-    else:
-        p50 = p99 = durations[0]
-    return {
-        "rounds": len(durations),
-        "p50_ms": round(p50 * 1e3, 4),
-        "p99_ms": round(p99 * 1e3, 4),
-        "mean_ms": round(statistics.fmean(durations) * 1e3, 4),
-    }
-
-
-def _measure(unit, rounds, setup=None, io_tree=None):
-    """Time ``unit`` over ``rounds``; attach the buffer-pool I/O delta
-    of the whole batch when ``io_tree`` is given."""
-    before = io_tree.stats.snapshot() if io_tree is not None else None
-    durations = []
-    for _ in range(rounds):
-        if setup is not None:
-            setup()
-        start = time.perf_counter()
-        unit()
-        durations.append(time.perf_counter() - start)
-    record = _latency_stats(durations)
-    if before is not None:
-        delta = io_tree.stats.snapshot() - before
-        record["io"] = dataclasses.asdict(delta)
-    return record
-
-
-def emit(path="BENCH_substrate.json"):
-    """Run every substrate unit deterministically and write the JSON."""
-    dataset = make_euro_like(DATASET_SIZE, seed=BENCH_SEED)[0]
-    units = {}
-
-    units["build_setr_tree"] = _measure(
-        lambda: SetRTree(dataset, capacity=100), rounds=3
-    )
-    units["build_kcr_tree"] = _measure(
-        lambda: KcRTree(dataset, capacity=100), rounds=3
-    )
-
-    setr = SetRTree(dataset, capacity=100)
-    kcr = KcRTree(dataset, capacity=100)
-    query = _query(dataset)
-    missing = [dataset.objects[900]]
-
-    searcher = TopKSearcher(setr)
-    units["top_k_setr"] = _measure(
-        lambda: searcher.top_k(query),
-        rounds=30,
-        setup=setr.reset_buffer,
-        io_tree=setr,
-    )
-    kcr_searcher = TopKSearcher(kcr)
-    units["top_k_kcr"] = _measure(
-        lambda: kcr_searcher.top_k(query),
-        rounds=30,
-        setup=kcr.reset_buffer,
-        io_tree=kcr,
-    )
-    units["rank_determination"] = _measure(
-        lambda: searcher.rank_of_missing(query, missing),
-        rounds=30,
-        setup=setr.reset_buffer,
-        io_tree=setr,
-    )
-
-    cnt, kcm = kcr.fetch_kcm(kcr.root_summary_record)
-    stats = NodeTextStats(cnt, kcm)
-    keywords = frozenset(list(kcm)[:4])
-    units["max_dom_root_scale"] = _measure(
-        lambda: max_dom(stats, keywords, 0.3), rounds=200
-    )
-    units["min_dom_root_scale"] = _measure(
-        lambda: min_dom(stats, keywords, 0.7), rounds=200
-    )
-
-    payload = {
-        "benchmark": "substrate",
-        "seed": BENCH_SEED,
-        "dataset": {"kind": "euro-like", "size": DATASET_SIZE},
-        "units": units,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return payload
+    return emit_figure("substrate", path, scale=scale)
 
 
 def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
-    out = argv[0] if argv else "BENCH_substrate.json"
-    payload = emit(out)
-    print(f"wrote {out}: {len(payload['units'])} unit(s), seed {BENCH_SEED}")
+    from repro.experiments.benchflows import emitter_main
+
+    print(emitter_main("substrate", argv))
     return 0
 
 

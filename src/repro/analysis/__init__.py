@@ -15,12 +15,27 @@ on float-equality edge cases.  This package guards both sides:
   concurrency contracts: worker-read-only, io-through-pool (the
   call-graph-aware successor of the old syntactic ``pager-access``
   lint rule), and exception-safety on the quarantine path.
-  CLI: ``repro-whynot analyze``.
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` — the
+  per-function control-flow graphs (with exception edges) and the
+  generic forward worklist solver the dataflow checkers run on.
+* :mod:`repro.analysis.taint` — determinism-taint: unsanitized
+  nondeterminism (time / random / fs-order / set-iteration / hash-id,
+  from the shared :mod:`repro.analysis.registry` taxonomy) reaching a
+  result dataclass, checksummed persistence, or a bench emitter.
+* :mod:`repro.analysis.lifetime` — resource acquire/release automata:
+  spill files, shard pipes/workers, locks, and the shard quarantine
+  lifecycle (leak-on-exception-edge, double-release,
+  use-after-quarantine).
+* :mod:`repro.analysis.driver` — the unified ``analyze`` runner
+  composing all of the above over one parsed call graph, with waiver,
+  stale-waiver, and baseline-ratchet semantics.
+  CLI: ``repro-whynot analyze [--rules ...|--all]``.
 * :mod:`repro.analysis.sanitize` — structural walkers validating
   R-tree/SetR-tree/KcR-tree invariants and buffer-pool accounting.
   CLI: ``repro-whynot check-invariants``.
 """
 
+from .driver import ALL_RULESETS, AnalysisReport, StaleWaiver, run_analysis
 from .flow import (
     EFFECT_KINDS,
     FlowAnalysis,
@@ -29,7 +44,14 @@ from .flow import (
     Violation,
     analyze_paths,
     collect_waivers,
+    finding_is_waived,
     load_baseline,
+)
+from .lifetime import (
+    RESOURCE_SPECS,
+    LifetimeFinding,
+    ResourceSpec,
+    check_lifetime,
 )
 from .lint import Finding, LintRule, Linter, lint_paths
 from .sanitize import (
@@ -40,6 +62,7 @@ from .sanitize import (
     check_tree,
     scan_corruption,
 )
+from .taint import TaintFinding, check_taint
 
 __all__ = [
     "Finding",
@@ -53,7 +76,18 @@ __all__ = [
     "Violation",
     "analyze_paths",
     "collect_waivers",
+    "finding_is_waived",
     "load_baseline",
+    "ALL_RULESETS",
+    "AnalysisReport",
+    "StaleWaiver",
+    "run_analysis",
+    "TaintFinding",
+    "check_taint",
+    "LifetimeFinding",
+    "ResourceSpec",
+    "RESOURCE_SPECS",
+    "check_lifetime",
     "InvariantViolation",
     "SanitizerReport",
     "check_buffer_pool",

@@ -1,0 +1,99 @@
+"""Generic forward worklist dataflow solver over :mod:`.cfg` graphs.
+
+A client supplies the lattice (``initial`` / ``join`` / equality) and a
+per-node ``transfer`` function; the solver iterates to a fixpoint.
+
+Exception-edge policy: the *pre*-state of a node flows along its
+exception edges (an exception may fire before the statement's effect
+completes — the may-analysis assumption the lifetime checker needs:
+``fh.write(...)`` raising mid-call still holds the file).  The
+*post*-state flows along normal edges.
+
+The checkers compose this intraprocedural solver with the
+:mod:`repro.analysis.callgraph` summaries: each function is solved with
+its callees' summaries as transfer-function inputs, and the summary
+loop in :mod:`repro.analysis.taint` iterates the per-function solves to
+an interprocedural fixpoint, yielding call-chain witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+from .cfg import CFG, CFGNode
+
+__all__ = ["ForwardSolver"]
+
+S = TypeVar("S")
+
+
+class ForwardSolver(Generic[S]):
+    """Worklist fixpoint: node -> state-at-entry.
+
+    ``transfer(node, state)`` must be pure (no mutation of ``state``).
+    ``join`` must be commutative/associative with ``initial()`` as its
+    identity; termination requires the usual finite-height lattice (all
+    production clients use finite set unions).
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        initial: Callable[[], S],
+        join: Callable[[S, S], S],
+        transfer: Callable[[CFGNode, S], S],
+        entry_state: Optional[S] = None,
+        max_passes: int = 64,
+    ) -> None:
+        self.cfg = cfg
+        self.initial = initial
+        self.join = join
+        self.transfer = transfer
+        self.entry_state = entry_state
+        self.max_passes = max_passes
+        self.in_states: Dict[int, S] = {}
+
+    def solve(self) -> Dict[int, S]:
+        cfg = self.cfg
+        states: Dict[int, S] = {
+            node.index: self.initial() for node in cfg.nodes
+        }
+        if self.entry_state is not None:
+            states[cfg.entry] = self.entry_state
+        worklist: List[int] = [cfg.entry]
+        queued = {cfg.entry}
+        # Reachability is tracked separately from state change: with an
+        # empty entry state the first propagation is a no-op join, and
+        # successors still must be visited once (their transfer runs
+        # the checks) before the worklist can quiesce.
+        reached = {cfg.entry}
+        visits: Dict[int, int] = {}
+        while worklist:
+            index = worklist.pop(0)
+            queued.discard(index)
+            visits[index] = visits.get(index, 0) + 1
+            if visits[index] > self.max_passes:
+                continue  # widen by truncation: keep current state
+            node = cfg.nodes[index]
+            pre = states[index]
+            post = self.transfer(node, pre)
+            for dst, out in self._edges(index, pre, post):
+                merged = self.join(states[dst], out)
+                first_touch = dst not in reached
+                reached.add(dst)
+                if merged != states[dst] or first_touch:
+                    states[dst] = merged
+                    if dst not in queued:
+                        queued.add(dst)
+                        worklist.append(dst)
+        self.in_states = states
+        return states
+
+    def _edges(self, index: int, pre: S, post: S):
+        for dst in sorted(self.cfg.succ.get(index, ())):
+            yield dst, post
+        for dst in sorted(self.cfg.exc_succ.get(index, ())):
+            yield dst, pre
+
+    def state_at(self, index: int) -> S:
+        return self.in_states.get(index, self.initial())

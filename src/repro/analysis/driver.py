@@ -1,0 +1,393 @@
+"""Unified analysis driver: lint → flow → taint → lifetime in one run.
+
+The four layers compose over ONE parsed call graph:
+
+* **lint** (:mod:`.lint`) — syntactic per-file rules;
+* **flow** (:mod:`.flow`) — interprocedural effect signatures and the
+  three concurrency contracts;
+* **taint** (:mod:`.taint`) — determinism-taint dataflow over the CFG,
+  reusing the shared source/sanitizer/sink registry;
+* **lifetime** (:mod:`.lifetime`) — resource acquire/release automata,
+  whose exception edges come from the flow layer's ``raises-storage``
+  signatures.
+
+Waivers: lint findings use ``# lint: <rule>`` comments; flow, taint,
+and lifetime findings use ``# flow: waiver(<rule>)`` (the finding
+line, the line above, or the anchor function's ``def`` line).  When
+every ruleset runs, the driver also inventories all waiver comments
+and reports any that suppressed nothing as ``stale-waiver`` findings —
+a waiver that outlives its violation is a lie in the margins.
+
+Baseline: one checked-in ratchet file shared across rulesets.  Flow
+violation keys are stored unprefixed (compatible with the PR 3-era
+``flow-baseline.json``); taint and lifetime keys carry their
+``taint::`` / ``lifetime::`` prefixes.  Lint and stale-waiver findings
+are never baselined — they are cheap to fix and the ratchet would
+invite rot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CodeGraph, build_graph
+from .flow import (
+    FlowAnalysis,
+    FlowConfig,
+    FlowReport,
+    _coverage,
+    collect_waivers,
+    finding_is_waived,
+)
+from .lifetime import LifetimeFinding, check_lifetime
+from .lint import Finding as LintFinding
+from .lint import _collect_waivers as collect_lint_waivers
+from .lint import default_linter
+from .taint import TaintFinding, check_taint
+
+__all__ = [
+    "ALL_RULESETS",
+    "AnalysisReport",
+    "StaleWaiver",
+    "run_analysis",
+]
+
+ALL_RULESETS: Tuple[str, ...] = ("lint", "flow", "taint", "lifetime")
+
+STALE_WAIVER_RULE = "stale-waiver"
+
+
+@dataclass(frozen=True)
+class StaleWaiver:
+    """A waiver comment that suppressed no finding in this run."""
+
+    comment_kind: str  # "lint" | "flow"
+    path: str
+    line: int
+    rule: str
+
+    @property
+    def key(self) -> str:
+        return f"{STALE_WAIVER_RULE}::{self.path}::{self.line}::{self.rule}"
+
+    def format(self) -> str:
+        marker = (
+            f"# lint: {self.rule}"
+            if self.comment_kind == "lint"
+            else f"# flow: waiver({self.rule})"
+        )
+        return (
+            f"{self.path}:{self.line}: [{STALE_WAIVER_RULE}] '{marker}' "
+            f"suppresses nothing; delete it or fix the rule name"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Combined result of one ``analyze`` run."""
+
+    rulesets: Tuple[str, ...]
+    n_modules: int
+    n_functions: int
+    lint: List[LintFinding] = field(default_factory=list)
+    flow: Optional[FlowReport] = None
+    taint: List[TaintFinding] = field(default_factory=list)
+    lifetime: List[LifetimeFinding] = field(default_factory=list)
+    stale_waivers: List[StaleWaiver] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    # -- gating ---------------------------------------------------------
+
+    @property
+    def blocking_count(self) -> int:
+        count = len([f for f in self.lint if not f.waived])
+        if self.flow is not None:
+            count += len(self.flow.blocking)
+        count += len(
+            [f for f in self.taint if not f.waived and not f.baselined]
+        )
+        count += len(
+            [f for f in self.lifetime if not f.waived and not f.baselined]
+        )
+        count += len(self.stale_waivers)
+        return count
+
+    @property
+    def suppressed_count(self) -> int:
+        count = len([f for f in self.lint if f.waived])
+        if self.flow is not None:
+            count += len(
+                [v for v in self.flow.violations if v.waived or v.baselined]
+            )
+        count += len([f for f in self.taint if f.waived or f.baselined])
+        count += len([f for f in self.lifetime if f.waived or f.baselined])
+        return count
+
+    def baseline_payload(self) -> Dict:
+        """Ratchet keys: flow unprefixed, taint/lifetime prefixed."""
+        keys: Set[str] = set()
+        if self.flow is not None:
+            keys.update(
+                v.key for v in self.flow.violations if not v.waived
+            )
+        keys.update(f.key for f in self.taint if not f.waived)
+        keys.update(f.key for f in self.lifetime if not f.waived)
+        return {"version": 1, "violations": sorted(keys)}
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self, include_signatures: bool = False) -> Dict:
+        payload: Dict = {
+            "rulesets": list(self.rulesets),
+            "modules": self.n_modules,
+            "functions": self.n_functions,
+            "blocking": self.blocking_count,
+            "suppressed": self.suppressed_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "errors": list(self.errors),
+            "findings": {},
+        }
+        if "lint" in self.rulesets:
+            payload["findings"]["lint"] = [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "waived": f.waived,
+                }
+                for f in self.lint
+            ]
+        if self.flow is not None:
+            flow_payload = self.flow.to_dict(
+                include_signatures=include_signatures
+            )
+            payload["findings"]["flow"] = flow_payload.pop("violations")
+            payload["flow"] = flow_payload
+        for name, findings in (
+            ("taint", self.taint),
+            ("lifetime", self.lifetime),
+        ):
+            if name not in self.rulesets:
+                continue
+            payload["findings"][name] = [
+                {
+                    "rule": f.rule,
+                    "key": f.key,
+                    "function": f.function,
+                    "module": f.module,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                    "chain": list(f.chain),
+                    "waived": f.waived,
+                    "baselined": f.baselined,
+                }
+                for f in findings
+            ]
+        if len(self.rulesets) == len(ALL_RULESETS):
+            payload["findings"]["stale-waiver"] = [
+                {
+                    "comment_kind": w.comment_kind,
+                    "path": w.path,
+                    "line": w.line,
+                    "rule": w.rule,
+                }
+                for w in self.stale_waivers
+            ]
+        return payload
+
+    def to_json(self, include_signatures: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(include_signatures), indent=2, sort_keys=True
+        )
+
+    def format_text(self) -> str:
+        lines = [
+            f"analyze[{','.join(self.rulesets)}]: {self.n_functions} "
+            f"functions across {self.n_modules} modules "
+            f"({self.elapsed_seconds:.2f}s)"
+        ]
+        blocking_lint = [f for f in self.lint if not f.waived]
+        for finding in blocking_lint:
+            lines.append(finding.format())
+        if self.flow is not None:
+            for package in sorted(self.flow.coverage):
+                stats = self.flow.coverage[package]
+                lines.append(
+                    f"  {package}: {stats['signed']}/{stats['functions']} "
+                    f"functions signed"
+                )
+            for violation in self.flow.blocking:
+                lines.append(violation.format())
+        for finding in self.taint:
+            if not finding.waived and not finding.baselined:
+                lines.append(finding.format())
+        for finding in self.lifetime:
+            if not finding.waived and not finding.baselined:
+                lines.append(finding.format())
+        for waiver in self.stale_waivers:
+            lines.append(waiver.format())
+        if self.suppressed_count:
+            lines.append(
+                f"  {self.suppressed_count} finding(s) waived or baselined"
+            )
+        if not self.blocking_count:
+            lines.append("  no new findings")
+        for error in self.errors:
+            lines.append(f"  parse error: {error}")
+        return "\n".join(lines)
+
+
+def _expand_files(paths: Sequence) -> List[Path]:
+    out: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def _apply_flow_waivers(findings, graph, waiver_cache, used, baseline) -> None:
+    """Mark waived/baselined on taint/lifetime-shaped findings."""
+    for finding in findings:
+        finding.waived = finding_is_waived(
+            finding.rule,
+            finding.path,
+            finding.line,
+            finding.function,
+            graph,
+            waiver_cache,
+            used,
+        )
+        if baseline and finding.key in baseline:
+            finding.baselined = True
+
+
+def _find_stale_waivers(
+    files: Sequence[Path],
+    used_lint: Set[Tuple[str, int, str]],
+    used_flow: Set[Tuple[str, int, str]],
+) -> List[StaleWaiver]:
+    """Inventory every waiver comment; report the ones never used.
+
+    Only meaningful when every ruleset ran — a lifetime waiver looks
+    unused to a lint-only run — so :func:`run_analysis` gates the call.
+    """
+    stale: List[StaleWaiver] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        spath = str(path)
+        for line, names in collect_lint_waivers(source).items():
+            for name in sorted(names):
+                if (spath, line, name) not in used_lint:
+                    stale.append(StaleWaiver("lint", spath, line, name))
+        for line, names in collect_waivers(spath, source=source).items():
+            for name in sorted(names):
+                if (spath, line, name) not in used_flow:
+                    stale.append(StaleWaiver("flow", spath, line, name))
+    stale.sort(key=lambda w: (w.path, w.line, w.rule))
+    return stale
+
+
+def run_analysis(
+    paths: Sequence,
+    rulesets: Sequence[str] = ALL_RULESETS,
+    baseline: Optional[Set[str]] = None,
+    config: Optional[FlowConfig] = None,
+    graph: Optional[CodeGraph] = None,
+) -> AnalysisReport:
+    """Run the requested rulesets over ``paths`` and combine reports.
+
+    One :func:`build_graph` parse feeds every layer; the flow layer's
+    ``raises-storage`` signatures seed the lifetime checker's
+    exception edges (computed here even when ``flow`` itself is not a
+    requested ruleset, because the lifetime automaton needs them).
+    """
+    started = time.perf_counter()
+    rulesets = tuple(r for r in ALL_RULESETS if r in set(rulesets))
+    if not rulesets:
+        raise ValueError("no known rulesets requested")
+    config = config or FlowConfig()
+    if graph is None:
+        graph = build_graph(paths)
+    report = AnalysisReport(
+        rulesets=rulesets,
+        n_modules=len(graph.modules),
+        n_functions=len(graph.functions),
+        errors=list(graph.errors),
+    )
+    used_lint: Set[Tuple[str, int, str]] = set()
+    used_flow: Set[Tuple[str, int, str]] = set()
+    waiver_cache: Dict[str, Dict[int, Set[str]]] = {}
+
+    if "lint" in rulesets:
+        report.lint = default_linter().lint(
+            paths, include_waived=True, used_waivers=used_lint
+        )
+
+    analysis: Optional[FlowAnalysis] = None
+    if "flow" in rulesets or "lifetime" in rulesets:
+        analysis = FlowAnalysis(graph, config).run()
+
+    if "flow" in rulesets and analysis is not None:
+        violations = analysis.check_contracts()
+        for violation in violations:
+            violation.waived = finding_is_waived(
+                violation.rule,
+                violation.path,
+                violation.line,
+                violation.function,
+                graph,
+                waiver_cache,
+                used_flow,
+            )
+            if baseline and violation.key in baseline:
+                violation.baselined = True
+        report.flow = FlowReport(
+            n_modules=len(graph.modules),
+            n_functions=len(graph.functions),
+            coverage=_coverage(graph, analysis.signatures, config),
+            signatures={
+                key: sorted(atoms)
+                for key, atoms in analysis.signatures.items()
+            },
+            violations=violations,
+            errors=list(graph.errors),
+        )
+
+    if "taint" in rulesets:
+        report.taint = check_taint(graph)
+        _apply_flow_waivers(
+            report.taint, graph, waiver_cache, used_flow, baseline
+        )
+
+    if "lifetime" in rulesets and analysis is not None:
+        raising = {
+            key
+            for key, sig in analysis.signatures.items()
+            if "raises-storage" in sig
+        }
+        report.lifetime = check_lifetime(graph, raising=raising)
+        _apply_flow_waivers(
+            report.lifetime, graph, waiver_cache, used_flow, baseline
+        )
+
+    if set(rulesets) == set(ALL_RULESETS):
+        report.stale_waivers = _find_stale_waivers(
+            _expand_files(paths), used_lint, used_flow
+        )
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -96,26 +96,11 @@ MASKING_HANDLER_NAMES = frozenset(
     {"StorageError", "ReproError", "Exception", "BaseException"}
 )
 
-NONDET_PREFIXES = (
-    "random.",
-    "numpy.random.",
-    "np.random.",
-    "uuid.",
-    "secrets.",
-)
-NONDET_NAMES = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.process_time",
-        "os.urandom",
-        "random",
-    }
-)
+# The nondeterminism taxonomy lives in repro.analysis.registry so the
+# nondet effect and the determinism-taint checker share one source of
+# truth (the time.sleep exclusion included).  Re-exported for
+# compatibility with existing imports.
+from .registry import NONDET_NAMES, NONDET_PREFIXES, nondet_kind
 
 FILE_IO_NAMES = frozenset({"open", "io.open", "os.open"})
 FILE_IO_METHODS = frozenset(
@@ -473,12 +458,12 @@ class _EffectVisitor:
         if buffer_io:
             self._record_io("buffer-io", line, dotted or "buffer access")
 
-        # Nondeterminism.
+        # Nondeterminism (shared registry decides; time.sleep excluded).
         ext = target.key if target.kind == "external" else dotted
         for candidate in (ext, dotted):
             if candidate is None:
                 continue
-            if candidate in NONDET_NAMES or candidate.startswith(NONDET_PREFIXES):
+            if nondet_kind(candidate) is not None:
                 self.effects.nondet_names.add(candidate)
                 break
 

@@ -15,8 +15,8 @@ contracts the ROADMAP's parallel/serving work depends on:
    syntactically occurs or wherever a receiver is *typed* as the pager,
    and file I/O reachable from a worker entry point is a violation with
    a call-chain witness.  This supersedes the old syntactic
-   ``pager-access`` lint rule; ``# lint: pager-access`` waivers are
-   honoured as an alias.
+   ``pager-access`` lint rule; waive with ``# flow:
+   waiver(io-through-pool)``.
 3. **exception-safety** — on the fault/quarantine path
    (``repro.core.engine`` / ``repro.core.degraded``) no shared-state
    mutation may precede a possibly-raising storage call, so a fault
@@ -68,6 +68,7 @@ __all__ = [
     "Violation",
     "analyze_paths",
     "collect_waivers",
+    "finding_is_waived",
     "load_baseline",
 ]
 
@@ -550,9 +551,9 @@ class FlowAnalysis:
 def collect_waivers(path: str, source: Optional[str] = None) -> Dict[int, Set[str]]:
     """Map line -> waived rule names for one file.
 
-    Recognises ``# flow: waiver(rule[, rule])`` and honours the legacy
-    ``# lint: pager-access`` (and ``# lint: *``) comments as waivers
-    for ``io-through-pool`` so PR 1-era annotations keep working.
+    Recognises ``# flow: waiver(rule[, rule])``.  (The one-time
+    ``# lint: pager-access`` alias from the lint-era annotations was
+    retired once every site migrated to the flow form.)
     """
     if source is None:
         try:
@@ -574,37 +575,62 @@ def collect_waivers(path: str, source: Optional[str] = None) -> Dict[int, Set[st
                         n.strip() for n in body[len("waiver(") : -1].split(",")
                     }
                     waivers.setdefault(line, set()).update(n for n in names if n)
-            elif text.startswith("lint:"):
-                names = {n.strip() for n in text[len("lint:") :].split(",")}
-                if "pager-access" in names:
-                    waivers.setdefault(line, set()).update(
-                        {"io-through-pool", "pager-access"}
-                    )
     except tokenize.TokenError:
         pass
     return waivers
+
+
+def finding_is_waived(
+    rule: str,
+    path: str,
+    line: int,
+    function: Optional[str],
+    graph: Optional[CodeGraph],
+    waiver_cache: Dict[str, Dict[int, Set[str]]],
+    used: Optional[Set[Tuple[str, int, str]]] = None,
+) -> bool:
+    """Shared waiver predicate for flow/taint/lifetime findings.
+
+    A finding is waived by ``# flow: waiver(<rule>)`` (or ``waiver(*)``)
+    on the finding line, the line above, or the anchor function's
+    ``def`` line.  When ``used`` is given, every matching waiver's
+    ``(path, line, rule-name)`` position is recorded — the stale-waiver
+    detector reports inventory positions that never match anything.
+    """
+    if path not in waiver_cache:
+        waiver_cache[path] = collect_waivers(path)
+    waivers = waiver_cache[path]
+    lines = {line, line - 1}
+    anchor = graph.functions.get(function) if graph and function else None
+    if anchor is not None:
+        lines.update({anchor.line, anchor.line - 1})
+    accepted = {rule, "*"}
+    hit = False
+    for cand in lines:
+        matched = waivers.get(cand, set()) & accepted
+        if matched:
+            hit = True
+            if used is not None:
+                for name in matched:
+                    used.add((path, cand, name))
+    return hit
 
 
 def _violation_is_waived(
     violation: Violation,
     graph: CodeGraph,
     waiver_cache: Dict[str, Dict[int, Set[str]]],
+    used: Optional[Set[Tuple[str, int, str]]] = None,
 ) -> bool:
-    path = violation.path
-    if path not in waiver_cache:
-        waiver_cache[path] = collect_waivers(path)
-    waivers = waiver_cache[path]
-    lines = {violation.line, violation.line - 1}
-    anchor = graph.functions.get(violation.function)
-    if anchor is not None:
-        lines.update({anchor.line, anchor.line - 1})
-    accepted = {violation.rule, "*"}
-    if violation.rule == "io-through-pool":
-        accepted.add("pager-access")
-    for line in lines:
-        if waivers.get(line, set()) & accepted:
-            return True
-    return False
+    return finding_is_waived(
+        violation.rule,
+        violation.path,
+        violation.line,
+        violation.function,
+        graph,
+        waiver_cache,
+        used,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -717,10 +743,17 @@ def analyze_paths(
     paths: Sequence,
     config: Optional[FlowConfig] = None,
     baseline: Optional[Set[str]] = None,
+    graph: Optional[CodeGraph] = None,
 ) -> FlowReport:
-    """Run the full pipeline over ``paths`` and return a report."""
+    """Run the full pipeline over ``paths`` and return a report.
+
+    Pass a prebuilt ``graph`` to share one :func:`build_graph` result
+    across the lint/flow/taint/lifetime layers (the unified driver
+    does); otherwise the graph is built here.
+    """
     config = config or FlowConfig()
-    graph = build_graph(paths)
+    if graph is None:
+        graph = build_graph(paths)
     analysis = FlowAnalysis(graph, config).run()
     violations = analysis.check_contracts()
     waiver_cache: Dict[str, Dict[int, Set[str]]] = {}

@@ -1,0 +1,646 @@
+"""Resource-lifetime checking: acquire/release automata on the CFG.
+
+Four resource families matter to this repo (ROADMAP "Scale-out"):
+
+* **spill files** — the streaming loader's per-tile spill handles
+  (``path.open(...)`` / ``open(...)``), released by ``.close()``;
+* **shard worker pipes/processes** — ``ctx.Pipe()`` connections and
+  ``ctx.Process(...)`` workers (:mod:`repro.index.sharded`), released
+  by ``.close()`` / ``.join()`` / ``.terminate()``;
+* **locks** — explicit ``.acquire()`` / ``.release()`` pairs (the
+  ``with lock:`` form is structurally safe and not tracked);
+* **the quarantine lifecycle** — healthy → quarantined
+  (``index.mark_down(shard, ...)`` quarantines its *subject argument*)
+  → recovered (``recover()``, which clears every tracked subject);
+  *serving* a request through a shard known to be quarantined —
+  passing it back to ``request`` / ``request_many`` / ``top_k`` — is
+  the bug (``use-after-quarantine``), not holding the state.
+
+Each family is a :class:`ResourceSpec` automaton run by the forward
+solver over the :mod:`.cfg` graph, whose exception edges come from the
+``raises-storage`` facts of the flow analysis — so "leak on exception
+edge" means precisely: a storage fault (or explicit raise) between
+acquire and release escapes the frame with the resource still held.
+
+Rules:
+
+``lifetime-leak``
+    A may-acquired resource reaches the function's normal or
+    exceptional exit unreleased.
+``lifetime-double-release``
+    A release on a path where the resource may already be released.
+``lifetime-use-after-quarantine``
+    A serving method invoked on an object that was quarantined on some
+    path without an intervening ``recover()``.
+
+Precision bounds (deliberate, tested): only plain local names are
+tracked — parameters, attributes (``self.conn``), and subscripts
+(``handles[tid]``) are not, and any *escape* (returned, stored to an
+attribute/container, passed as a call argument) ends tracking with no
+reports.  ``with``-bound resources are auto-released by the context
+manager and never reported as leaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from .callgraph import CodeGraph, FunctionInfo, dotted_name
+from .cfg import CFG, CFGNode, build_cfg
+from .dataflow import ForwardSolver
+from .effects import _ScopeModel
+
+__all__ = [
+    "ResourceSpec",
+    "RESOURCE_SPECS",
+    "LifetimeFinding",
+    "LifetimeChecker",
+    "check_lifetime",
+]
+
+RULE_LEAK = "lifetime-leak"
+RULE_DOUBLE_RELEASE = "lifetime-double-release"
+RULE_USE_AFTER_QUARANTINE = "lifetime-use-after-quarantine"
+
+ACQUIRED = "A"
+RELEASED = "R"
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One acquire/release automaton."""
+
+    name: str
+    # Acquisition by call result: `v = open(...)`, `a, b = ctx.Pipe()`.
+    acquire_names: FrozenSet[str] = frozenset()  # plain / terminal names
+    acquire_methods: FrozenSet[str] = frozenset()  # `.open(...)` style
+    tuple_acquire: bool = False  # call yields a tuple of resources
+    # State transitions by method call on the tracked name.
+    stateful_methods: FrozenSet[str] = frozenset()  # re-acquire (quarantine)
+    release_methods: FrozenSet[str] = frozenset()
+    use_methods: FrozenSet[str] = frozenset()
+    bad_use_state: str = RELEASED  # state in which use_methods misfire
+    # Subject-argument family: the resource is the first positional
+    # argument, not the receiver (``index.mark_down(shard, ...)``
+    # quarantines *shard*; ``index.recover()`` with no argument clears
+    # every tracked subject of this spec).
+    subject_arg: bool = False
+    use_rule: str = RULE_USE_AFTER_QUARANTINE
+    report_leak: bool = True
+    report_double_release: bool = True
+
+
+RESOURCE_SPECS: Tuple[ResourceSpec, ...] = (
+    ResourceSpec(
+        name="spill-file",
+        acquire_names=frozenset({"open"}),
+        acquire_methods=frozenset({"open"}),
+        release_methods=frozenset({"close"}),
+    ),
+    ResourceSpec(
+        name="shard-pipe",
+        acquire_names=frozenset({"Pipe"}),
+        tuple_acquire=True,
+        release_methods=frozenset({"close"}),
+    ),
+    ResourceSpec(
+        name="shard-worker",
+        acquire_names=frozenset({"Process"}),
+        release_methods=frozenset({"join", "terminate", "kill", "close"}),
+    ),
+    ResourceSpec(
+        name="lock",
+        stateful_methods=frozenset({"acquire"}),
+        release_methods=frozenset({"release"}),
+    ),
+    ResourceSpec(
+        name="quarantine",
+        stateful_methods=frozenset({"mark_down", "quarantine"}),
+        release_methods=frozenset({"recover"}),
+        use_methods=frozenset(
+            {"request", "request_many", "searcher", "ensure_built", "top_k"}
+        ),
+        bad_use_state=ACQUIRED,
+        report_leak=False,
+        report_double_release=False,
+        subject_arg=True,
+    ),
+)
+
+_SPEC_BY_ACQUIRE_METHOD: Dict[str, ResourceSpec] = {}
+_SPEC_BY_ACQUIRE_NAME: Dict[str, ResourceSpec] = {}
+_SPEC_BY_STATEFUL_METHOD: Dict[str, ResourceSpec] = {}
+# Subject-arg families are dispatched on the method name alone (the
+# receiver is a registry object of any shape): method -> (spec, role).
+_SUBJECT_METHODS: Dict[str, Tuple[ResourceSpec, str]] = {}
+for _spec in RESOURCE_SPECS:
+    for _m in _spec.acquire_methods:
+        _SPEC_BY_ACQUIRE_METHOD[_m] = _spec
+    for _n in _spec.acquire_names:
+        _SPEC_BY_ACQUIRE_NAME[_n] = _spec
+    for _m in _spec.stateful_methods:
+        _SPEC_BY_STATEFUL_METHOD[_m] = _spec
+    if _spec.subject_arg:
+        for _m in _spec.stateful_methods:
+            _SUBJECT_METHODS[_m] = (_spec, "stateful")
+        for _m in _spec.release_methods:
+            _SUBJECT_METHODS[_m] = (_spec, "release")
+        for _m in _spec.use_methods:
+            _SUBJECT_METHODS[_m] = (_spec, "use")
+
+
+class Res(NamedTuple):
+    """Abstract state of one tracked local resource."""
+
+    spec: str
+    states: FrozenSet[str]
+    line: int  # acquisition line (finding anchor)
+    auto: bool = False  # with-bound: context manager releases it
+
+
+Env = Dict[str, Res]
+
+
+@dataclass
+class LifetimeFinding:
+    """One lifecycle violation."""
+
+    rule: str
+    function: str
+    module: str
+    path: str
+    line: int
+    resource: str  # spec name
+    var: str
+    message: str
+    chain: List[str] = field(default_factory=list)
+    waived: bool = False
+    baselined: bool = False
+
+    @property
+    def key(self) -> str:
+        return f"lifetime::{self.rule}::{self.function}::{self.resource}:{self.var}"
+
+    def format(self) -> str:
+        header = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.chain:
+            hops = "\n".join(f"    -> {hop}" for hop in self.chain)
+            return header + "\n" + hops
+        return header
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    if not a:
+        return b
+    if not b:
+        return a
+    out = dict(a)
+    for name, res in b.items():
+        prior = out.get(name)
+        if prior is None:
+            out[name] = res
+        elif prior != res:
+            if prior.spec != res.spec:
+                # Conflicting reuse of one name: stop tracking it.
+                out.pop(name, None)
+            else:
+                out[name] = Res(
+                    spec=prior.spec,
+                    states=prior.states | res.states,
+                    line=min(prior.line, res.line),
+                    auto=prior.auto or res.auto,
+                )
+    return out
+
+
+class _FunctionPass:
+    """Run every resource automaton over one function's CFG."""
+
+    def __init__(self, checker: "LifetimeChecker", func: FunctionInfo) -> None:
+        self.checker = checker
+        self.graph = checker.graph
+        self.func = func
+        self.scope = _ScopeModel(checker.graph, func)
+        self.findings: Dict[str, LifetimeFinding] = {}
+
+    def run(self) -> List[LifetimeFinding]:
+        cfg = build_cfg(self.func.node, may_raise=self._may_raise)
+        solver: ForwardSolver[Env] = ForwardSolver(
+            cfg,
+            initial=dict,
+            join=_join_env,
+            transfer=self._transfer,
+            entry_state={},
+        )
+        states = solver.solve()
+        self._check_exit(states.get(cfg.exit, {}), exceptional=False)
+        self._check_exit(states.get(cfg.exc_exit, {}), exceptional=True)
+        return sorted(
+            self.findings.values(), key=lambda f: (f.line, f.rule, f.var)
+        )
+
+    # -- exception edges ------------------------------------------------
+
+    def _may_raise(self, stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                target = self.graph.resolve_call(self.func, node)
+                if (
+                    target.kind == "local"
+                    and target.key in self.checker.raising
+                ):
+                    return True
+        return False
+
+    # -- transfer -------------------------------------------------------
+
+    def _transfer(self, node: CFGNode, env: Env) -> Env:
+        stmt = node.stmt
+        if stmt is None:
+            if node.label == "with-exit" and node.with_stmt is not None:
+                return self._close_with(node.with_stmt, env)
+            return env
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            self._handle_assign(stmt.targets, stmt.value, stmt.lineno, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._handle_assign([stmt.target], stmt.value, stmt.lineno, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                spec = self._acquire_spec(item.context_expr)
+                self._process_calls(item.context_expr, env)
+                self._escape_names(item.context_expr, env)
+                if (
+                    spec is not None
+                    and isinstance(item.optional_vars, ast.Name)
+                    and self._is_local(item.optional_vars.id)
+                ):
+                    env[item.optional_vars.id] = Res(
+                        spec=spec.name,
+                        states=frozenset({ACQUIRED}),
+                        line=stmt.lineno,
+                        auto=True,
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self._touch(stmt.value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            # Head node only: the body statements are their own CFG
+            # nodes, so touching the whole subtree here would process
+            # their lifecycle events twice (and on the wrong paths).
+            self._touch(stmt.test, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._touch(stmt.iter, env)
+            for target in ast.walk(stmt.target):
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # A closure capturing a tracked name escapes it; the body's
+            # calls do NOT run at definition time, so no events.
+            self._escape_names(stmt, env)
+        else:
+            self._touch(stmt, env)
+        return env
+
+    def _touch(self, node: ast.AST, env: Env) -> None:
+        """Process lifecycle events, then escapes, for one expression.
+
+        Events first: ``return runtime.request(...)`` must fire the
+        use-after-quarantine check before the receiver-exempt escape
+        walk runs.
+        """
+        self._process_calls(node, env)
+        self._escape_names(node, env)
+
+    def _close_with(self, stmt: ast.With, env: Env) -> Env:
+        env = dict(env)
+        for item in stmt.items:
+            if isinstance(item.optional_vars, ast.Name):
+                res = env.get(item.optional_vars.id)
+                if res is not None and res.auto and res.line == stmt.lineno:
+                    env[item.optional_vars.id] = res._replace(
+                        states=frozenset({RELEASED})
+                    )
+        return env
+
+    def _handle_assign(
+        self,
+        targets: List[ast.expr],
+        value: ast.expr,
+        line: int,
+        env: Env,
+    ) -> None:
+        spec = self._acquire_spec(value)
+        if spec is not None:
+            # Anything referenced by the acquire expression itself
+            # (e.g. the path object) is not the resource.
+            if len(targets) == 1:
+                target = targets[0]
+                if isinstance(target, ast.Name) and self._is_local(target.id):
+                    self._acquire(target.id, spec, line, env)
+                    return
+                if spec.tuple_acquire and isinstance(
+                    target, (ast.Tuple, ast.List)
+                ):
+                    elements = [
+                        e for e in target.elts if isinstance(e, ast.Name)
+                    ]
+                    if len(elements) == len(target.elts):
+                        for elt in elements:
+                            if self._is_local(elt.id):
+                                self._acquire(elt.id, spec, line, env)
+                        return
+            # Acquired into a non-trackable shape: nothing to track.
+            return
+        # Not an acquisition: the RHS may carry lifecycle events
+        # (``ok = lock.acquire()``) and may reference (escape) tracked
+        # resources; a rebind of a tracked name ends tracking.
+        self._process_calls(value, env)
+        self._escape_names(value, env)
+        for target in targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    env.pop(name_node.id, None)
+
+    def _acquire(self, name: str, spec: ResourceSpec, line: int, env: Env) -> None:
+        env[name] = Res(
+            spec=spec.name, states=frozenset({ACQUIRED}), line=line
+        )
+
+    def _acquire_spec(self, expr: ast.expr) -> Optional[ResourceSpec]:
+        if not isinstance(expr, ast.Call):
+            return None
+        target = self.graph.resolve_call(self.func, expr)
+        if target.kind == "local":
+            return None  # locally-defined helper, not the raw primitive
+        if isinstance(expr.func, ast.Name):
+            return _SPEC_BY_ACQUIRE_NAME.get(expr.func.id)
+        if isinstance(expr.func, ast.Attribute):
+            terminal = expr.func.attr
+            spec = _SPEC_BY_ACQUIRE_NAME.get(terminal)
+            if spec is not None:
+                return spec
+            return _SPEC_BY_ACQUIRE_METHOD.get(terminal)
+        return None
+
+    def _process_calls(self, node: ast.AST, env: Env) -> None:
+        """Apply every ``name.method(...)`` lifecycle event in ``node``.
+
+        Works in any expression position (``Return`` / assignment RHS /
+        condition), not just bare expression statements.  Argument
+        escapes are handled by the follow-up :meth:`_escape_names`
+        walk, which exempts method receivers.
+        """
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._method_event(child, env)
+
+    def _method_event(self, call: ast.Call, env: Env) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        if method in _SUBJECT_METHODS:
+            self._subject_event(call, method, env)
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        name = func.value.id
+        res = env.get(name)
+        if res is None:
+            # Method-based acquisition (lock.acquire) on an untracked
+            # plain local starts tracking.
+            spec = _SPEC_BY_STATEFUL_METHOD.get(method)
+            if spec is not None and not spec.subject_arg and self._is_local(name):
+                env[name] = Res(
+                    spec=spec.name,
+                    states=frozenset({ACQUIRED}),
+                    line=call.lineno,
+                )
+            return
+        spec = self.checker.spec_by_name[res.spec]
+        if method in spec.release_methods:
+            if RELEASED in res.states and spec.report_double_release:
+                self._add(
+                    RULE_DOUBLE_RELEASE,
+                    call.lineno,
+                    spec,
+                    name,
+                    f"{name}.{method}() may release an already-released "
+                    f"{spec.name} (acquired line {res.line})",
+                )
+            env[name] = res._replace(states=frozenset({RELEASED}))
+        elif method in spec.stateful_methods:
+            env[name] = res._replace(states=frozenset({ACQUIRED}))
+        elif method in spec.use_methods and spec.bad_use_state in res.states:
+            what = (
+                "quarantined"
+                if spec.name == "quarantine"
+                else f"released {spec.name}"
+            )
+            self._add(
+                spec.use_rule,
+                call.lineno,
+                spec,
+                name,
+                f"{name}.{method}() serves through a {what} object "
+                f"(state set line {res.line}) without recover()",
+            )
+
+    def _subject_event(self, call: ast.Call, method: str, env: Env) -> None:
+        """One quarantine-family event: the resource is the *argument*.
+
+        ``index.mark_down(shard, ...)`` quarantines ``shard``;
+        ``index.recover()`` (no subject argument) clears every tracked
+        subject; serving methods misfire when any Name they receive —
+        or their receiver — is a quarantined subject.
+        """
+        spec, role = _SUBJECT_METHODS[method]
+        arg0 = call.args[0] if call.args else None
+        subject = arg0.id if isinstance(arg0, ast.Name) else None
+        receiver = call.func.value if isinstance(call.func, ast.Attribute) else None
+        receiver_name = receiver.id if isinstance(receiver, ast.Name) else None
+        if role == "stateful":
+            target = subject or receiver_name
+            if target is None:
+                return
+            res = env.get(target)
+            if res is None:
+                if self._is_local(target):
+                    env[target] = Res(
+                        spec=spec.name,
+                        states=frozenset({ACQUIRED}),
+                        line=call.lineno,
+                    )
+            elif res.spec == spec.name:
+                env[target] = res._replace(states=frozenset({ACQUIRED}))
+            else:
+                env.pop(target, None)
+        elif role == "release":
+            if subject is not None:
+                res = env.get(subject)
+                if res is not None and res.spec == spec.name:
+                    env[subject] = res._replace(states=frozenset({RELEASED}))
+            else:
+                # recover() with no subject clears every quarantine.
+                for tracked, res in list(env.items()):
+                    if res.spec == spec.name:
+                        env[tracked] = res._replace(
+                            states=frozenset({RELEASED})
+                        )
+        else:  # use
+            candidates: List[str] = []
+            if receiver_name is not None:
+                candidates.append(receiver_name)
+            for arg in call.args:
+                if isinstance(arg, ast.Name):
+                    candidates.append(arg.id)
+                elif isinstance(arg, (ast.Tuple, ast.List)):
+                    candidates.extend(
+                        e.id for e in arg.elts if isinstance(e, ast.Name)
+                    )
+            for cand in candidates:
+                res = env.get(cand)
+                if (
+                    res is not None
+                    and res.spec == spec.name
+                    and spec.bad_use_state in res.states
+                ):
+                    self._add(
+                        spec.use_rule,
+                        call.lineno,
+                        spec,
+                        cand,
+                        f"{method}() serves '{cand}' while quarantined "
+                        f"(marked down line {res.line}) without recover()",
+                    )
+
+    def _escape_names(self, node: ast.AST, env: Env) -> None:
+        """End tracking for any tracked name referenced inside ``node``.
+
+        Receivers of method calls are exempt (``fh.write(...)`` is a
+        use, not an escape), as are subject arguments of quarantine
+        mark/recover events (the call is the tracking action itself);
+        everything else — argument positions, container literals,
+        returns, attribute stores — is an escape.
+        """
+        if not env:
+            return
+        skip: Set[int] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                receiver = child.func.value
+                if isinstance(receiver, ast.Name):
+                    skip.add(id(receiver))
+                entry = _SUBJECT_METHODS.get(child.func.attr)
+                if entry is not None and entry[1] in ("stateful", "release"):
+                    if child.args and isinstance(child.args[0], ast.Name):
+                        skip.add(id(child.args[0]))
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and id(child) not in skip
+                and child.id in env
+            ):
+                env.pop(child.id, None)
+
+    def _is_local(self, name: str) -> bool:
+        return self.scope.classify(name) == "local"
+
+    # -- exits ----------------------------------------------------------
+
+    def _check_exit(self, env: Env, exceptional: bool) -> None:
+        for name in sorted(env):
+            res = env[name]
+            spec = self.checker.spec_by_name[res.spec]
+            if not spec.report_leak or res.auto:
+                continue
+            if ACQUIRED not in res.states:
+                continue
+            how = (
+                "an exception edge leaves the frame"
+                if exceptional
+                else "the function returns"
+            )
+            self._add(
+                RULE_LEAK,
+                res.line,
+                spec,
+                name,
+                f"{spec.name} '{name}' acquired at line {res.line} is "
+                f"still held when {how}",
+                exceptional=exceptional,
+            )
+
+    def _add(
+        self,
+        rule: str,
+        line: int,
+        spec: ResourceSpec,
+        var: str,
+        message: str,
+        exceptional: bool = False,
+    ) -> None:
+        finding = LifetimeFinding(
+            rule=rule,
+            function=self.func.key,
+            module=self.func.module,
+            path=self.func.path,
+            line=line,
+            resource=spec.name,
+            var=var,
+            message=message,
+        )
+        existing = self.findings.get(finding.key)
+        # Exceptional-exit leaks carry strictly more signal than the
+        # same resource's normal-exit leak; keep the richer message.
+        if existing is None or (exceptional and "exception" not in existing.message):
+            self.findings[finding.key] = finding
+
+
+class LifetimeChecker:
+    """Resource-lifetime automata over every function in a graph."""
+
+    def __init__(
+        self, graph: CodeGraph, raising: Optional[Set[str]] = None
+    ) -> None:
+        self.graph = graph
+        self.spec_by_name = {spec.name: spec for spec in RESOURCE_SPECS}
+        if raising is None:
+            from .flow import FlowAnalysis
+
+            analysis = FlowAnalysis(graph).run()
+            raising = {
+                key
+                for key, sig in analysis.signatures.items()
+                if "raises-storage" in sig
+            }
+        self.raising = raising
+
+    def run(self) -> List[LifetimeFinding]:
+        findings: List[LifetimeFinding] = []
+        for key in sorted(self.graph.functions):
+            findings.extend(
+                _FunctionPass(self, self.graph.functions[key]).run()
+            )
+        findings.sort(key=lambda f: (f.path, f.line, f.key))
+        return findings
+
+
+def check_lifetime(
+    graph: CodeGraph, raising: Optional[Set[str]] = None
+) -> List[LifetimeFinding]:
+    """Run the lifetime checker; ``raising`` is the set of function
+    keys whose calls sprout exception edges (defaults to the flow
+    analysis' ``raises-storage`` signatures)."""
+    return LifetimeChecker(graph, raising).run()

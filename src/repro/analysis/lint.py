@@ -46,7 +46,7 @@ from __future__ import annotations
 import ast
 import io
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -75,6 +75,7 @@ class Finding:
     line: int
     col: int
     message: str
+    waived: bool = False
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
@@ -108,13 +109,31 @@ class ModuleSource:
             self.module == p or self.module.startswith(p + ".") for p in prefixes
         )
 
-    def is_waived(self, rule: str, line: int) -> bool:
-        """Waived on the finding's line or a comment line directly above."""
+    def is_waived(
+        self,
+        rule: str,
+        line: int,
+        used: Optional[Set[Tuple[str, int, str]]] = None,
+    ) -> bool:
+        """Waived on the finding's line or a comment line directly above.
+
+        When ``used`` is given, every matching waiver's
+        ``(path, line, rule-name)`` position is recorded so the
+        stale-waiver detector can report comments that suppress
+        nothing.
+        """
+        hit = False
         for candidate in (line, line - 1):
             waived = self.waivers.get(candidate)
-            if waived is not None and (rule in waived or WAIVE_ALL in waived):
-                return True
-        return False
+            if waived is None:
+                continue
+            matched = waived & {rule, WAIVE_ALL}
+            if matched:
+                hit = True
+                if used is not None:
+                    for name in matched:
+                        used.add((str(self.path), candidate, name))
+        return hit
 
 
 def _module_name(path: Path) -> Optional[str]:
@@ -255,9 +274,10 @@ class PagerAccessRule(LintRule):
         aware ``io-through-pool`` contract in
         :mod:`repro.analysis.flow`, which sees through typed receivers
         and helper indirection this syntactic rule cannot.  The class
-        stays importable for bespoke :class:`Linter` configurations,
-        and existing ``# lint: pager-access`` waivers are honoured by
-        the flow checker as an alias for ``io-through-pool``.
+        stays importable for bespoke :class:`Linter` configurations;
+        waive the flow contract with ``# flow:
+        waiver(io-through-pool)`` (the transitional ``# lint:
+        pager-access`` alias is gone).
 
     Flags (outside :mod:`repro.storage`):
 
@@ -466,7 +486,20 @@ class Linter:
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate rule names: {sorted(names)}")
 
-    def lint_file(self, path: Path) -> List[Finding]:
+    def lint_file(
+        self,
+        path: Path,
+        include_waived: bool = False,
+        used_waivers: Optional[Set[Tuple[str, int, str]]] = None,
+    ) -> List[Finding]:
+        """Findings for one file.
+
+        Waived findings are dropped unless ``include_waived`` is set, in
+        which case they are returned with ``waived=True`` (the unified
+        ``analyze`` report shows them as suppressed rather than hiding
+        them).  ``used_waivers`` collects the waiver positions that
+        actually matched a finding — see :meth:`ModuleSource.is_waived`.
+        """
         try:
             module = ModuleSource.parse(path)
         except SyntaxError as exc:
@@ -482,15 +515,31 @@ class Linter:
         findings: List[Finding] = []
         for rule in self.rules:
             for finding in rule.check(module):
-                if not module.is_waived(rule.name, finding.line):
+                waived = module.is_waived(
+                    rule.name, finding.line, used=used_waivers
+                )
+                if not waived:
                     findings.append(finding)
+                elif include_waived:
+                    findings.append(replace(finding, waived=True))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
-    def lint(self, paths: Iterable[PathLike]) -> List[Finding]:
+    def lint(
+        self,
+        paths: Iterable[PathLike],
+        include_waived: bool = False,
+        used_waivers: Optional[Set[Tuple[str, int, str]]] = None,
+    ) -> List[Finding]:
         findings: List[Finding] = []
         for path in sorted(set(self._expand(paths))):
-            findings.extend(self.lint_file(path))
+            findings.extend(
+                self.lint_file(
+                    path,
+                    include_waived=include_waived,
+                    used_waivers=used_waivers,
+                )
+            )
         return findings
 
     @staticmethod

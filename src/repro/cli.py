@@ -203,21 +203,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Run the interprocedural flow/contract checker.
+    """Run the unified static-analysis driver.
 
-    Exit codes: 0 = no new violations (waived and baselined findings
-    are reported but do not fail), 1 = new violations, 2 = bad usage.
+    ``--rules`` picks rulesets (comma-separated from lint, flow, taint,
+    lifetime); ``--all`` runs every ruleset plus stale-waiver
+    detection.  Exit codes: 0 = no new findings (waived and baselined
+    findings are reported but do not fail), 1 = new findings, 2 = bad
+    usage / unparseable input.
     """
     import json as json_module
 
-    from .analysis import analyze_paths, load_baseline
+    from .analysis import ALL_RULESETS, load_baseline, run_analysis
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"no such path(s): {', '.join(missing)}")
         return 2
+    if args.all:
+        rulesets = ALL_RULESETS
+    else:
+        rulesets = tuple(
+            name.strip() for name in args.rules.split(",") if name.strip()
+        )
+        unknown = sorted(set(rulesets) - set(ALL_RULESETS))
+        if unknown:
+            print(
+                f"unknown ruleset(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_RULESETS)})"
+            )
+            return 2
     baseline = load_baseline(args.baseline) if args.baseline else None
-    report = analyze_paths(args.paths, baseline=baseline)
+    report = run_analysis(args.paths, rulesets=rulesets, baseline=baseline)
     if args.write_baseline:
         payload = report.baseline_payload()
         Path(args.write_baseline).write_text(
@@ -233,7 +249,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(report.to_json(include_signatures=args.signatures))
     else:
         print(report.format_text())
-    return 1 if report.blocking or report.errors else 0
+    return 1 if report.blocking_count or report.errors else 0
 
 
 def _cmd_check_invariants(args: argparse.Namespace) -> int:
@@ -541,14 +557,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser(
         "analyze",
-        help="interprocedural effect inference + concurrency-contract "
-        "checker (repro.analysis.flow)",
+        help="unified static analysis: lint + flow contracts + "
+        "determinism-taint + resource-lifetime (repro.analysis)",
     )
     p_analyze.add_argument(
         "paths",
         nargs="*",
         default=["src/repro"],
         help="files or directories to analyse (default: src/repro)",
+    )
+    p_analyze.add_argument(
+        "--rules",
+        default="flow",
+        help="comma-separated rulesets: lint,flow,taint,lifetime "
+        "(default: flow)",
+    )
+    p_analyze.add_argument(
+        "--all",
+        action="store_true",
+        help="run every ruleset plus stale-waiver detection",
     )
     p_analyze.add_argument(
         "--json", action="store_true", help="emit the machine-readable report"

@@ -490,7 +490,7 @@ def sweep_candidates(
         pn_upper = penalty_model.penalty(state.candidate.delta_doc, rank_upper)
         improves = pn_upper < best.penalty
         displaces = (
-            pn_upper == best.penalty  # lint: exact-float — bit-equal tie
+            pn_upper == best.penalty  # bit-equal tie, not approx compare
             and owner_index is not None
             and s_index < owner_index
         )

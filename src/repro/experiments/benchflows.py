@@ -60,6 +60,9 @@ DEFAULT_ROUNDS = 3
 #: Figure emitters skip BS above this candidate-space size (the skip is
 #: recorded in the payload's ``skipped`` list — never silent).
 EMITTER_BS_CAP = 512
+#: Dataset size for the substrate micro-units (matches the historical
+#: ``benchmarks/bench_substrate.py`` standalone emitter).
+SUBSTRATE_SIZE = 2000
 
 _CALIBRATION_LOOPS = 200_000
 
@@ -568,7 +571,100 @@ def _fig13_full_units(rounds: int) -> _Units:
     return units
 
 
+def _build_substrate(harness: EmitterHarness, rounds: int) -> _BuildResult:
+    """Substrate micro-units plus the analyzer's own runtime.
+
+    Not a paper figure: these track the building blocks whose costs the
+    figures aggregate (index construction, top-k search, rank
+    determination, the MaxDom/MinDom bound estimators) — and the
+    static-analysis substrate itself.  The ``analyze:*`` units time
+    :func:`repro.analysis.run_analysis` over the shipped package, so a
+    super-linear blowup in the CFG/dataflow layer trips the same
+    normalized-p50 gate that guards the query benchmarks.
+    """
+    import repro as _pkg
+
+    from ..analysis import run_analysis
+    from ..core.bounds import NodeTextStats, max_dom, min_dom
+    from ..index.kcr_tree import KcRTree
+    from ..index.setr_tree import SetRTree
+
+    units: _Units = {}
+    dataset, _ = make_euro_like(SUBSTRATE_SIZE, seed=BENCH_SEED)
+
+    durations, setr = _measure(
+        lambda: SetRTree(dataset, capacity=100), rounds
+    )
+    units["build_setr_tree"] = _latency_stats(durations)
+    durations, kcr = _measure(lambda: KcRTree(dataset, capacity=100), rounds)
+    units["build_kcr_tree"] = _latency_stats(durations)
+
+    obj = dataset.objects[17]
+    query = SpatialKeywordQuery(
+        loc=obj.loc, doc=frozenset(sorted(obj.doc)[:3]), k=10, alpha=0.5
+    )
+    missing = [dataset.objects[900]]
+    searcher = TopKSearcher(setr)
+    kcr_searcher = TopKSearcher(kcr)
+
+    def io_unit(name: str, unit: Callable[[], Any], tree: Any) -> None:
+        """Cold-buffer timing plus the batch's deterministic I/O delta."""
+        before = tree.stats.snapshot()
+        durs, _ = _measure(unit, max(rounds, 10), setup=tree.reset_buffer)
+        record = _latency_stats(durs)
+        record["io"] = dataclasses.asdict(tree.stats.snapshot() - before)
+        units[name] = record
+
+    io_unit("top_k_setr", lambda: searcher.top_k(query), setr)
+    io_unit("top_k_kcr", lambda: kcr_searcher.top_k(query), kcr)
+    io_unit(
+        "rank_determination",
+        lambda: searcher.rank_of_missing(query, missing),
+        setr,
+    )
+
+    cnt, kcm = kcr.fetch_kcm(kcr.root_summary_record)
+    stats = NodeTextStats(cnt, kcm)
+    keywords = frozenset(sorted(kcm)[:4])
+    durations, _ = _measure(
+        lambda: max_dom(stats, keywords, 0.3), max(rounds, 50)
+    )
+    units["max_dom_root_scale"] = _latency_stats(durations)
+    durations, _ = _measure(
+        lambda: min_dom(stats, keywords, 0.7), max(rounds, 50)
+    )
+    units["min_dom_root_scale"] = _latency_stats(durations)
+
+    src = str(Path(_pkg.__file__).resolve().parent)
+    for label, rulesets in (
+        ("analyze:flow", ("flow",)),
+        ("analyze:taint+lifetime", ("taint", "lifetime")),
+        ("analyze:all", ("lint", "flow", "taint", "lifetime")),
+    ):
+        reports: List[Any] = []
+        durations, _ = _measure(
+            lambda: reports.append(run_analysis([src], rulesets=rulesets)),
+            rounds,
+        )
+        record = _latency_stats(durations)
+        # Deterministic shape counters (gated exactly, like I/O would
+        # be): a drifting function count means the analyzer silently
+        # started skipping or double-counting code.
+        record["functions"] = reports[-1].n_functions
+        record["modules"] = reports[-1].n_modules
+        record["blocking"] = reports[-1].blocking_count
+        units[label] = record
+
+    meta = {
+        "kind": "euro-like",
+        "size": SUBSTRATE_SIZE,
+        "analyzer_source": "src/repro",
+    }
+    return units, meta, []
+
+
 FIGURES: Dict[str, Callable[[EmitterHarness, int], _BuildResult]] = {
+    "substrate": _build_substrate,
     "fig04": _axis_figure(
         "fig4",
         "k0",

@@ -1,0 +1,29 @@
+"""Shared helpers for the CFG/dataflow/taint/lifetime tests.
+
+Same contract as the flow-test conftest: fixture packages are written
+under ``tmp_path`` with ``__init__.py`` everywhere, parsed by the
+analyzers, never imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import CodeGraph, build_graph
+
+from ..flow.conftest import write_package
+
+
+@pytest.fixture
+def make_graph(tmp_path):
+    """Write a fixture package and return its parsed :class:`CodeGraph`."""
+
+    def _make(files: dict) -> CodeGraph:
+        tree = write_package(tmp_path, files)
+        graph = build_graph([str(tree)])
+        assert not graph.errors, graph.errors
+        return graph
+
+    return _make

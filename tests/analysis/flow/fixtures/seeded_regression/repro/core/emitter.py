@@ -1,0 +1,25 @@
+"""Fixture: nondeterminism reaching the result sink, plus lint bait.
+
+Seeds for the negative control: one ``taint-to-sink`` per flavor
+(set-iteration order into ``TopKOutcome.results``, wall-clock into the
+checksummed writer), one ``bare-assert`` lint finding, and two waiver
+comments that suppress nothing (``stale-waiver``).
+"""
+
+import time
+
+
+def emit_summary(run_id: int) -> object:
+    tags = {"b", "a"}
+    order = [t for t in tags]
+    assert order
+    return TopKOutcome(results=order, degraded=False, events=())
+
+
+def persist(path: str) -> None:
+    # flow: waiver(worker-read-only)
+    save_checked_json(path, {"at": time.time()}, version=2)
+
+
+def helper(value: int) -> int:
+    return value + 1  # lint: no-print

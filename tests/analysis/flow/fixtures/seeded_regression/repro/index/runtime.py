@@ -1,0 +1,12 @@
+"""Fixture: a quarantined shard served again without recovery.
+
+``serve_after_fault`` marks a shard down and then routes the next
+request straight back through it (``lifetime-use-after-quarantine``).
+"""
+
+
+class DegradedRouter:
+    def serve_after_fault(self, idx: object, exc: Exception) -> object:
+        shard = idx.shards[0]
+        idx.mark_down(shard, "setr", "top_k", exc)
+        return idx.request(shard, ("top_k",))

@@ -1,0 +1,26 @@
+"""Fixture: spill-file lifecycle bugs for the lifetime checker.
+
+``spill_batch`` leaks its handle across the exception edge of a
+storage-raising call (``lifetime-leak``); ``close_twice`` releases an
+already-released handle (``lifetime-double-release``).
+"""
+
+
+class StorageError(Exception):
+    pass
+
+
+def risky_read(path: str) -> bytes:
+    raise StorageError(path)
+
+
+def spill_batch(path: str) -> None:
+    fh = open(path, "wb")
+    fh.write(risky_read(path))
+    fh.close()
+
+
+def close_twice(path: str) -> None:
+    fh = open(path)
+    fh.close()
+    fh.close()

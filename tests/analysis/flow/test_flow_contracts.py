@@ -190,7 +190,7 @@ class TestWaivers:
         report = analyze_paths([str(tree)])
         assert report.blocking, "unrelated waiver must not clear io-through-pool"
 
-    def test_legacy_lint_comment_still_works(self, make_tree):
+    def test_legacy_lint_comment_is_retired(self, make_tree):
         tree = make_tree(
             with_search_body(
                 """
@@ -205,7 +205,10 @@ class TestWaivers:
             )
         )
         report = analyze_paths([str(tree)])
-        assert report.blocking == []
+        assert report.blocking, (
+            "the one-time '# lint: pager-access' alias no longer waives "
+            "io-through-pool; use '# flow: waiver(io-through-pool)'"
+        )
 
     def test_collect_waivers_parses_comments(self):
         source = "\n".join(
@@ -217,7 +220,7 @@ class TestWaivers:
         )
         waivers = collect_waivers("<mem>", source=source)
         assert waivers[1] == {"io-through-pool", "worker-read-only"}
-        assert "io-through-pool" in waivers[2]
+        assert 2 not in waivers, "lint comments are not flow waivers"
         assert 3 not in waivers
 
 

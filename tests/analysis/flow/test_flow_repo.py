@@ -66,20 +66,20 @@ class TestAnalyzeCli:
         captured = capsys.readouterr()
         assert code == 1
         payload = json.loads(captured.out)
-        assert {v["rule"] for v in payload["violations"]} == {
+        assert {v["rule"] for v in payload["findings"]["flow"]} == {
             "worker-read-only",
             "io-through-pool",
             "exception-safety",
         }
-        assert "signatures" not in payload
+        assert "signatures" not in payload["flow"]
 
     def test_json_with_signatures(self, capsys):
         code = main(["analyze", str(SEEDED_REGRESSION), "--json", "--signatures"])
         captured = capsys.readouterr()
         assert code == 1
         payload = json.loads(captured.out)
-        assert "signatures" in payload
-        assert payload["signatures"], "signature map must not be empty"
+        assert "signatures" in payload["flow"]
+        assert payload["flow"]["signatures"], "signature map must not be empty"
 
     def test_missing_path_exits_two(self, tmp_path):
         assert main(["analyze", str(tmp_path / "nope")]) == 2
