@@ -281,7 +281,20 @@ def _find_stale_waivers(
 
     Only meaningful when every ruleset ran — a lifetime waiver looks
     unused to a lint-only run — so :func:`run_analysis` gates the call.
+
+    Usage positions are compared on resolved paths: lint findings carry
+    the invocation-relative path while flow/lifetime findings carry the
+    graph's absolute path, and a waiver must not look stale just
+    because ``analyze`` was launched from a different directory.
     """
+
+    def _norm(used: Set[Tuple[str, int, str]]) -> Set[Tuple[str, int, str]]:
+        return {
+            (str(Path(p).resolve()), line, name) for p, line, name in used
+        }
+
+    lint_keys = _norm(used_lint)
+    flow_keys = _norm(used_flow)
     stale: List[StaleWaiver] = []
     for path in files:
         try:
@@ -289,13 +302,14 @@ def _find_stale_waivers(
         except OSError:
             continue
         spath = str(path)
+        resolved = str(path.resolve())
         for line, names in collect_lint_waivers(source).items():
             for name in sorted(names):
-                if (spath, line, name) not in used_lint:
+                if (resolved, line, name) not in lint_keys:
                     stale.append(StaleWaiver("lint", spath, line, name))
         for line, names in collect_waivers(spath, source=source).items():
             for name in sorted(names):
-                if (spath, line, name) not in used_flow:
+                if (resolved, line, name) not in flow_keys:
                     stale.append(StaleWaiver("flow", spath, line, name))
     stale.sort(key=lambda w: (w.path, w.line, w.rule))
     return stale

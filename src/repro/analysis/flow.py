@@ -127,15 +127,25 @@ class FlowConfig:
         # this single dispatcher, in-process in simulate mode and inside
         # the forked worker in process mode, so one entry covers both.
         "repro.index.sharded._worker_execute",
+        # The serving layer's executor path: every admitted request runs
+        # through this one method on a worker thread, against the shared
+        # engine snapshot; it is held to the same read-only contract as
+        # the shard workers (policy mutations live on the event loop).
+        "repro.serve.server.WhyNotServer._execute",
     )
     exception_safe_modules: Tuple[str, ...] = (
         "repro.core.engine",
         "repro.core.degraded",
+        # The server's promise is "never crash, classify instead":
+        # its modules carry the same no-bare-raise discipline.
+        "repro.serve.server",
+        "repro.serve.breakers",
     )
     coverage_packages: Tuple[str, ...] = (
         "repro.core",
         "repro.index",
         "repro.storage",
+        "repro.serve",
     )
 
     def is_shared_class(self, class_key: Optional[str]) -> bool:

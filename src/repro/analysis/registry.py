@@ -237,6 +237,24 @@ SINKS: Tuple[SinkSpec, ...] = (
         kind="ctor",
         fields=("keywords", "k", "delta_doc", "rank", "penalty", "alpha"),
     ),
+    # The serving layer's externally visible artifact.  busy_ms is the
+    # measured process_time cost — time belongs there (the serve bench
+    # normalizes it); anything time/random/order-tainted in the other
+    # fields would make responses irreproducible.
+    SinkSpec(
+        name="ServeResponse",
+        kind="ctor",
+        fields=(
+            "status",
+            "kind",
+            "session",
+            "seq",
+            "result",
+            "reason",
+            "busy_ms",
+        ),
+        field_exempt=(("busy_ms", frozenset({KIND_TIME})),),
+    ),
     # v2 checksummed persistence: every byte written must be stable.
     SinkSpec(name="save_checked_json", kind="call"),
     SinkSpec(name="atomic_write_text", kind="call"),

@@ -12,6 +12,9 @@ Subcommands::
     repro-whynot check-invariants [--size 10000]     # index/storage sanitizer
     repro-whynot chaos      [--seed 7 --queries 200] # fault-injection harness
     repro-whynot chaos --shards 4 --fault-shard 0    # per-shard containment
+    repro-whynot chaos --serve                       # same gate, via the server
+    repro-whynot serve      [--shards 4]             # scripted serving smoke
+    repro-whynot serve-bench [--requests 2000]       # simulated heavy traffic
     repro-whynot bench --emit [--check baselines/]   # BENCH_fig*.json + gate
     repro-whynot bench --emit --figures fig13 --full # 1M-object sharded sweep
 
@@ -290,6 +293,146 @@ def _cmd_check_invariants(args: argparse.Namespace) -> int:
     return status
 
 
+def _chaos_serve(args: argparse.Namespace, dataset, baseline, chaotic) -> int:
+    """The ``chaos --serve`` leg: the same workload, through the server.
+
+    Replays the query stream as served requests (admission, deadlines,
+    breakers) against the chaotic engine and holds the server to the
+    same contract as the bare engine: zero crashes (``failed``
+    responses) and zero unflagged deviations from the fault-free
+    baseline.  A final 4x overload burst checks load-shedding stays
+    explicit and the queue stays bounded under fire.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from . import SpatialKeywordQuery, WhyNotQuestion
+    from .serve import (
+        STATUS_FAILED,
+        STATUS_OK,
+        STATUS_REJECTED,
+        ServerConfig,
+        WhyNotServer,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    config = ServerConfig(breaker_cooldown=4)
+    counters = {
+        "crashes": 0,
+        "unflagged": 0,
+        "degraded": 0,
+        "degraded_divergent": 0,
+        "answers": 0,
+        "shed": 0,
+    }
+
+    async def drive() -> dict:
+        async with WhyNotServer(chaotic, config) as server:
+            for i in range(args.queries):
+                seed_obj = dataset.objects[int(rng.integers(0, len(dataset)))]
+                doc = frozenset(list(seed_obj.doc)[:3])
+                if not doc:
+                    continue
+                query = SpatialKeywordQuery(loc=seed_obj.loc, doc=doc, k=5)
+                expected = baseline.top_k(query)
+                response = await server.top_k(f"user-{i % 8}", query)
+                if response.status == STATUS_FAILED:
+                    counters["crashes"] += 1
+                    print(f"[CRASH] query {i}: {response.reason}")
+                    continue
+                outcome = response.result
+                if response.status != STATUS_OK or outcome.degraded:
+                    counters["degraded"] += 1
+                    if outcome.results != expected:
+                        counters["degraded_divergent"] += 1
+                elif outcome.results != expected:
+                    counters["unflagged"] += 1
+                    print(f"[DEVIATION] query {i}: unflagged top-k mismatch")
+
+                if args.answer_every and i % args.answer_every == 0:
+                    extended = baseline.top_k(query.with_k(21))
+                    if len(extended) < 21:
+                        continue
+                    question = WhyNotQuestion(
+                        query, (extended[-1][1],), lam=0.5
+                    )
+                    base_answer = baseline.answer(question, method=args.method)
+                    response = await server.why_not(
+                        f"user-{i % 8}", question, method=args.method
+                    )
+                    if response.status == STATUS_FAILED:
+                        counters["crashes"] += 1
+                        print(f"[CRASH] answer {i}: {response.reason}")
+                        continue
+                    counters["answers"] += 1
+                    answer = response.result
+                    same = (
+                        abs(
+                            answer.refined.penalty
+                            - base_answer.refined.penalty
+                        )
+                        < 1e-9
+                    )
+                    if response.status != STATUS_OK or answer.degraded:
+                        counters["degraded"] += 1
+                        if not same:
+                            counters["degraded_divergent"] += 1
+                    elif not same:
+                        counters["unflagged"] += 1
+                        print(
+                            f"[DEVIATION] answer {i}: unflagged penalty "
+                            "mismatch"
+                        )
+
+            # Overload burst: 4x the topk admission bound at once.  The
+            # server must shed explicitly, answer everything else, and
+            # keep the queue inside its memory bound throughout.
+            burst_n = 4 * server.config.limits["topk"]
+            seed_obj = dataset.objects[0]
+            query = SpatialKeywordQuery(
+                loc=seed_obj.loc,
+                doc=frozenset(list(seed_obj.doc)[:2]),
+                k=5,
+            )
+            responses = await asyncio.gather(
+                *(
+                    server.top_k(f"burst-{i % 16}", query)
+                    for i in range(burst_n)
+                )
+            )
+            counters["shed"] = sum(
+                1 for r in responses if r.status == STATUS_REJECTED
+            )
+            counters["burst_failed"] = sum(
+                1 for r in responses if r.status == STATUS_FAILED
+            )
+            counters["burst_n"] = burst_n
+            counters["queue_bound_ok"] = (
+                len(server.admission) <= server.admission.capacity
+            )
+            return server.health()
+
+    health = asyncio.run(drive())
+    print(f"served queries:      {args.queries} (+{counters['answers']} why-not answers)")
+    print(f"degraded (flagged):  {counters['degraded']}  [divergent from baseline: {counters['degraded_divergent']}]")
+    print(f"unflagged deviations:{counters['unflagged']:>2}")
+    print(f"crashes:             {counters['crashes']}")
+    print(f"overload burst:      {counters['burst_n']} offered, {counters['shed']} shed "
+          f"(queue bounded: {counters['queue_bound_ok']})")
+    print(f"health:              {health['status']}  breakers={list(health['breakers']) or 'none'}")
+    print(f"responses:           {health['responses']}")
+    ok = (
+        counters["crashes"] == 0
+        and counters["unflagged"] == 0
+        and counters["burst_failed"] == 0
+        and counters["shed"] > 0
+        and counters["queue_bound_ok"]
+    )
+    print("CHAOS-SERVE OK" if ok else "CHAOS-SERVE FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run a query workload under deterministic fault injection.
 
@@ -330,6 +473,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     else:
         chaotic = WhyNotEngine(dataset, faults=injector)
+    if getattr(args, "serve", False):
+        return _chaos_serve(args, dataset, baseline, chaotic)
     rng = np.random.default_rng(args.seed)
 
     crashes = 0
@@ -444,6 +589,175 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{answer.algorithm:>11}: {answer.refined.describe(vocabulary)} "
             f"[{answer.elapsed_seconds * 1000:.1f} ms, {answer.io.page_reads} page reads]"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Scripted serving smoke session, exit-code gated.
+
+    Starts a server over a (by default sharded) engine and drives the
+    canonical client script: top-k lookups, a why-not refinement
+    dialogue that must reuse the session's dominator cache, a forced
+    shard quarantine that must walk the breaker through
+    open -> half_open -> closed while answers stay exact, and a final
+    health check that must report ``ok`` again.
+    """
+    import asyncio
+
+    from . import (
+        Oracle,
+        SpatialKeywordQuery,
+        TransientIOError,
+        WhyNotEngine,
+        WhyNotQuestion,
+        make_euro_like,
+    )
+    from .serve import STATUS_DEGRADED, STATUS_OK, ServerConfig, WhyNotServer
+
+    dataset, _ = make_euro_like(args.size, seed=args.seed)
+    engine = (
+        WhyNotEngine(dataset, shards=args.shards)
+        if args.shards
+        else WhyNotEngine(dataset)
+    )
+    oracle = Oracle(dataset)
+    seed_obj = dataset.objects[args.seed % len(dataset)]
+    query = SpatialKeywordQuery(
+        loc=seed_obj.loc, doc=frozenset(list(seed_obj.doc)[:3]), k=5
+    )
+    missing = oracle.object_at_rank(query, 26)
+    question = WhyNotQuestion(query, (missing,), lam=0.5)
+    checks: List[tuple] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, ok, detail))
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f"  ({detail})" if detail else ""))
+
+    async def drive() -> None:
+        config = ServerConfig(breaker_cooldown=3)
+        async with WhyNotServer(engine, config) as server:
+            print("client script: top-k + refinement dialogue")
+            top = await server.top_k("alice", query)
+            check("top-k ok", top.status == STATUS_OK, top.status)
+            rounds = []
+            for round_no in range(3):
+                varied = WhyNotQuestion(
+                    query.with_k(5 + round_no), (missing,),
+                    lam=min(0.9, 0.5 + 0.1 * round_no),
+                )
+                rounds.append(
+                    await server.why_not("alice", varied, method="advanced")
+                )
+            hits = server.sessions.snapshot()["cache_hits"]
+            check(
+                "dialogue answered",
+                all(r.status == STATUS_OK for r in rounds),
+                ",".join(r.status for r in rounds),
+            )
+            check("dominator cache reused", hits >= 2, f"{hits} hit(s)")
+            check(
+                "health ok pre-fault", server.health()["status"] == "ok"
+            )
+
+            if engine.is_sharded:
+                print("forcing shard quarantine")
+                index = engine.sharded_index
+                index.mark_down(
+                    index.shards[1],
+                    "setr",
+                    "forced-outage",
+                    TransientIOError("smoke-test forced outage"),
+                )
+                first = await server.top_k("alice", query)
+                health = server.health()
+                breaker = health["breakers"].get("shard-1:setr", {})
+                check(
+                    "outage answered degraded",
+                    first.status == STATUS_DEGRADED,
+                    first.status,
+                )
+                check(
+                    "breaker opened",
+                    breaker.get("state") == "open"
+                    and health["status"] == "degraded",
+                    str(breaker.get("state")),
+                )
+                seen = {str(breaker.get("state"))}
+                last = first
+                for _ in range(config.breaker_cooldown + 3):
+                    last = await server.top_k("alice", query)
+                    state = (
+                        server.health()["breakers"]
+                        .get("shard-1:setr", {})
+                        .get("state")
+                    )
+                    seen.add(str(state))
+                    if state == "closed":
+                        break
+                check(
+                    "breaker walked open->half_open->closed",
+                    {"open", "half_open", "closed"} <= seen,
+                    "->".join(sorted(seen)),
+                )
+                check(
+                    "recovered to exact ok", last.status == STATUS_OK, last.status
+                )
+                check(
+                    "health ok post-recovery",
+                    server.health()["status"] == "ok",
+                )
+            print(f"final health: {server.health()['responses']}")
+
+    asyncio.run(drive())
+    engine.close()
+    failed = [name for name, ok, _ in checks if not ok]
+    print(
+        "SERVE SMOKE OK"
+        if not failed
+        else f"SERVE SMOKE FAILED: {failed}"
+    )
+    return 0 if not failed else 1
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Load-generate against the serving layer and report latencies.
+
+    Thousands of simulated users replay over measured ``process_time``
+    busy costs in virtual time (the makespan-discount convention), so
+    the p50/p99 here are core-count-independent.  ``--burst`` switches
+    to the overload scenario (everything arrives at once).
+    """
+    import statistics
+
+    from . import WhyNotEngine, make_euro_like
+    from .experiments.workload import WorkloadGenerator
+    from .serve.bench import run_serve_bench
+
+    dataset, _ = make_euro_like(args.size, seed=args.seed)
+    engine = WhyNotEngine(dataset)
+    generator = WorkloadGenerator(dataset, seed=args.seed)
+    cases = generator.generate(
+        args.probe_cases, k0=5, n_keywords=3, max_extra_keywords=4
+    )
+    report = run_serve_bench(
+        engine,
+        cases,
+        n_requests=args.requests,
+        users=args.users,
+        seed=args.seed,
+        workers=args.workers,
+        load_factor=args.load,
+        burst=args.burst,
+    )
+    latencies = report.pop("latencies_ms")
+    cuts = statistics.quantiles(latencies, n=100)
+    report["p50_ms"] = round(cuts[49], 4)
+    report["p99_ms"] = round(cuts[98], 4)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -660,7 +974,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="confine faults to this shard id (repeatable); enables the "
         "containment gate asserting only listed shards degrade",
     )
+    p_chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="replay the workload through the serving layer (admission, "
+        "deadlines, breakers) and gate on the same zero-crash / "
+        "zero-unflagged contract plus explicit overload shedding",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="scripted serving smoke session: dialogue cache reuse, forced "
+        "shard quarantine, breaker recovery, health transitions",
+    )
+    p_serve.add_argument("--size", type=int, default=2000)
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for the served engine (0 = unsharded; disables "
+        "the forced-quarantine leg)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_serve_bench = sub.add_parser(
+        "serve-bench",
+        help="simulated heavy traffic over the serving layer; p50/p99 via "
+        "the makespan-discount convention (process_time busy)",
+    )
+    p_serve_bench.add_argument("--size", type=int, default=1500)
+    p_serve_bench.add_argument("--seed", type=int, default=2016)
+    p_serve_bench.add_argument("--requests", type=int, default=2000)
+    p_serve_bench.add_argument("--users", type=int, default=300)
+    p_serve_bench.add_argument("--workers", type=int, default=4)
+    p_serve_bench.add_argument(
+        "--load",
+        type=float,
+        default=0.65,
+        help="offered load as a fraction of fleet capacity",
+    )
+    p_serve_bench.add_argument(
+        "--probe-cases",
+        type=int,
+        default=3,
+        help="workload cases measured for real to calibrate service costs",
+    )
+    p_serve_bench.add_argument(
+        "--burst",
+        action="store_true",
+        help="overload scenario: all requests arrive at one instant",
+    )
+    p_serve_bench.add_argument("-o", "--output", help="also write JSON here")
+    p_serve_bench.set_defaults(func=_cmd_serve_bench)
 
     p_bench = sub.add_parser(
         "bench",

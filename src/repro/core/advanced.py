@@ -46,12 +46,20 @@ class AdvancedAlgorithm:
         early_stop: bool = True,
         ordering: bool = True,
         filtering: bool = True,
+        cache: Optional[DominatorCache] = None,
     ) -> None:
         self.tree = tree
         self.model = model
         self.early_stop = early_stop
         self.ordering = ordering
         self.filtering = filtering
+        # An externally owned Opt3 cache (the serving layer shares one
+        # across a refinement dialogue).  Only valid while the caller
+        # guarantees the cache was built for this question's
+        # (query.loc, query.alpha, missing) triple — dominance does not
+        # depend on the candidate keyword sets, so k/λ/keyword changes
+        # within a dialogue are safe to share.
+        self.cache = cache
 
     @property
     def name(self) -> str:
@@ -79,9 +87,11 @@ class AdvancedAlgorithm:
         best = context.basic_refined()
         cache: Optional[DominatorCache] = None
         if self.filtering:
-            cache = DominatorCache(
-                context.dataset, context.query, context.missing, self.model
-            )
+            cache = self.cache
+            if cache is None:
+                cache = DominatorCache(
+                    context.dataset, context.query, context.missing, self.model
+                )
 
         candidates = (
             context.enumerator.iter_paper_order()

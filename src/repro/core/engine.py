@@ -261,7 +261,9 @@ class WhyNotEngine:
         )
         self._quarantined.setdefault(name, []).append(event)
 
-    def recover(self) -> Tuple[FaultEvent, ...]:
+    def recover(
+        self, only: Optional[Iterable[str]] = None
+    ) -> Tuple[FaultEvent, ...]:
         """Drop quarantined indexes for rebuild from the dataset.
 
         The dataset is authoritative (indexes never own object data),
@@ -269,25 +271,43 @@ class WhyNotEngine:
         lazily reconstructed on next use, with a *fresh* fault-injector
         fork so the rebuilt tree does not replay the exact schedule
         that broke it.  Returns the fault events that were cleared.
+
+        ``only`` limits recovery to the named quarantine units (index
+        names, or ``"shard-<tid>:<kind>"`` for sharded engines).  The
+        serving layer's circuit breakers rely on this to half-open one
+        unit at a time instead of resurrecting everything.
         """
         if self.is_sharded:
             if self._sharded is None:
                 return ()
-            cleared = tuple(self._sharded.runtime.fault_events)
-            self._sharded.recover()
+            if only is None:
+                cleared = tuple(self._sharded.runtime.fault_events)
+                self._sharded.recover()
+                return cleared
+            selected = set(only)
+            cleared = tuple(
+                event
+                for event in self._sharded.runtime.fault_events
+                if event.tree in selected
+            )
+            self._sharded.recover(only=selected)
             return cleared
+        selected = None if only is None else set(only)
+        names = [
+            name
+            for name in list(self._quarantined)
+            if selected is None or name in selected
+        ]
         cleared = tuple(
-            event
-            for events in self._quarantined.values()
-            for event in events
+            event for name in names for event in self._quarantined[name]
         )
-        for name in list(self._quarantined):
+        for name in names:
             self._rebuilds[name] += 1
             if name == "setr":
                 self._setr = None
             else:
                 self._kcr = None
-        self._quarantined.clear()
+            del self._quarantined[name]
         return cleared
 
     def health(self) -> Dict[str, Any]:

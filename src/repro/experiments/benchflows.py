@@ -663,8 +663,85 @@ def _build_substrate(harness: EmitterHarness, rounds: int) -> _BuildResult:
     return units, meta, []
 
 
+def _build_serve(harness: EmitterHarness, rounds: int) -> _BuildResult:
+    """Serving-layer load figure (the ``serve-bench`` verb's payload).
+
+    Three units, all per the makespan-discount convention — service
+    costs are measured ``process_time`` busy and the fleet overlaps
+    them in virtual time, so no unit depends on wall clock or core
+    count:
+
+    * ``steady-mixed`` — 1200 requests from 200 users at load factor
+      0.65 over 4 virtual workers; p50/p99 of virtual latency.
+    * ``overload-burst-4x`` — 4x the admission capacity arriving at
+      one instant; the shed counts are exact arithmetic of the class
+      limits and the p50 covers the accepted requests.
+    * ``dialogue-cache-reuse`` — a 4-round refinement dialogue through
+      a real server, with the session layer sharing one dominator
+      cache; ``cache_hits`` is gate-stable (deterministic), busy is
+      normalized like every other latency.
+    """
+    from ..serve.bench import run_dialogue, run_serve_bench
+
+    units: _Units = {}
+    engine = harness.engine("euro", 1500)
+    generator = WorkloadGenerator(
+        engine.dataset, seed=_case_seed(("serve", "euro", 1500))
+    )
+    cases = generator.generate(
+        3, k0=5, n_keywords=3, max_extra_keywords=4
+    )
+
+    def sim_stats(report: Dict[str, Any]) -> Dict[str, Any]:
+        record = _latency_stats(
+            [value / 1e3 for value in report["latencies_ms"]]
+        )
+        record["shed"] = report["shed"]
+        record["timeouts"] = report["timeouts"]
+        record["completed"] = report["completed"]
+        record["workers"] = report["workers"]
+        record["service_ms"] = report["service_ms"]
+        return record
+
+    steady = run_serve_bench(
+        engine,
+        cases,
+        n_requests=1200,
+        users=200,
+        seed=BENCH_SEED,
+        workers=4,
+        load_factor=0.65,
+    )
+    units["steady-mixed"] = sim_stats(steady)
+
+    burst = run_serve_bench(
+        engine,
+        cases,
+        n_requests=320,  # 4x the default 64+16 admission capacity
+        users=40,
+        seed=BENCH_SEED,
+        workers=4,
+        burst=True,
+    )
+    units["overload-burst-4x"] = sim_stats(burst)
+
+    reused = run_dialogue(engine, cases[0].question, rounds=4)
+    fresh = run_dialogue(
+        engine, cases[0].question, rounds=4, reuse_cache=False
+    )
+    record = _latency_stats([value / 1e3 for value in reused["busy_ms"]])
+    record["cache_hits"] = reused["cache_hits"]
+    record["fresh_cache_hits"] = fresh["cache_hits"]
+    record["statuses"] = sorted(set(reused["statuses"]))
+    units["dialogue-cache-reuse"] = record
+
+    meta = {"kind": "euro-like", "size": 1500, "simulated_users": 200}
+    return units, meta, []
+
+
 FIGURES: Dict[str, Callable[[EmitterHarness, int], _BuildResult]] = {
     "substrate": _build_substrate,
+    "serve": _build_serve,
     "fig04": _axis_figure(
         "fig4",
         "k0",

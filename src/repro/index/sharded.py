@@ -44,6 +44,7 @@ import json
 import math
 import os
 import tempfile
+import threading
 import time
 from bisect import bisect_right
 from dataclasses import asdict, dataclass
@@ -53,10 +54,12 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -751,6 +754,7 @@ class _ProcessBackend:
         self.stats[kind].transient_faults += delta.transient_faults
         self.stats[kind].checksum_failures += delta.checksum_failures
         self.stats[kind].lost_records += delta.lost_records
+        self.stats[kind].deadline_aborts += delta.deadline_aborts
 
     def close(self) -> None:
         try:
@@ -1118,6 +1122,14 @@ class ShardedIndex:
         self.runtime = _ShardRuntime()
         self._backends: Dict[int, Any] = {}
         self._views: Dict[str, ShardedTreeView] = {}
+        # Serving threads reach view() concurrently; the lazy cache
+        # write must be guarded (views are stateless wrappers, so a
+        # lost race would be benign, but the read-only contract wants
+        # the guard explicit).
+        self._views_lock = threading.Lock()
+        # Serializes lazy warm-on-query: concurrent serving threads
+        # must not race the per-shard build bookkeeping.
+        self._build_lock = threading.Lock()
         self._warmed: set = set()
         self._model: SimilarityModel = JACCARD
 
@@ -1256,11 +1268,12 @@ class ShardedIndex:
     def view(self, kind: str) -> ShardedTreeView:
         if kind not in KINDS:
             raise InvalidParameterError(f"unknown tree kind {kind!r}")
-        view = self._views.get(kind)
-        if view is None:
-            view = ShardedTreeView(self, kind)
-            self._views[kind] = view
-        return view
+        with self._views_lock:
+            view = self._views.get(kind)
+            if view is None:
+                view = ShardedTreeView(self, kind)
+                self._views[kind] = view
+            return view
 
     def searcher(
         self, kind: str, model: SimilarityModel = JACCARD
@@ -1355,17 +1368,22 @@ class ShardedIndex:
         A build-time storage fault quarantines only that shard; queries
         then serve its partition from the exact index-free scan.
         """
-        self._model = model
-        for shard in self.shards:
-            key = (shard.tid, kind)
-            if shard.is_empty or key in self.runtime.down or key in self._warmed:
-                continue
-            try:
-                self.request(shard, ("warm", (kind,), model))
-            except StorageError as exc:
-                self.mark_down(shard, kind, f"build:{kind}", exc)
-                continue
-            self._warmed.add(key)
+        with self._build_lock:
+            self._model = model
+            for shard in self.shards:
+                key = (shard.tid, kind)
+                if (
+                    shard.is_empty
+                    or key in self.runtime.down
+                    or key in self._warmed
+                ):
+                    continue
+                try:
+                    self.request(shard, ("warm", (kind,), model))
+                except StorageError as exc:
+                    self.mark_down(shard, kind, f"build:{kind}", exc)
+                    continue
+                self._warmed.add(key)
 
     # -- accounting ----------------------------------------------------
     def ledgers(self, kind: str) -> Dict[int, IOSnapshot]:
@@ -1390,7 +1408,7 @@ class ShardedIndex:
                 shard.reset_buffer()
 
     # -- recovery ------------------------------------------------------
-    def recover(self) -> List[str]:
+    def recover(self, only: Optional[Iterable[str]] = None) -> List[str]:
         """Clear quarantines and drop damaged trees for lazy rebuild.
 
         Each cleared tree gets a fresh fault-fork label (the rebuild
@@ -1398,10 +1416,20 @@ class ShardedIndex:
         not replay the schedule that broke it.  In process mode the
         shard's worker is retired — it may hold the damaged tree — and
         a fresh one is forked on next use.
+
+        ``only`` restricts recovery to the named units
+        (``"shard-<tid>:<kind>"``), leaving other quarantines in place —
+        the serving layer's circuit breakers use this for half-open
+        probes that must not resurrect every down shard at once.
         """
+        selected = None if only is None else set(only)
         cleared: List[str] = []
+        remaining: Set[Tuple[int, str]] = set()
         for key in sorted(self.runtime.down):
             tid, kind = key
+            if selected is not None and f"shard-{tid}:{kind}" not in selected:
+                remaining.add(key)
+                continue
             shard = self.shards[tid]
             if self.mode == "process":
                 backend = self._backends.pop(tid, None)
@@ -1418,8 +1446,18 @@ class ShardedIndex:
             # fault-fork label instead of replaying the broken schedule.
             shard.drop_tree(kind)
             cleared.append(f"shard-{tid}:{kind}")
-        self.runtime.down.clear()
-        self.runtime.fault_events.clear()
+        if selected is None:
+            self.runtime.down.clear()
+            self.runtime.fault_events.clear()
+        else:
+            self.runtime.down.clear()
+            self.runtime.down.update(remaining)
+            recovered = set(cleared)
+            self.runtime.fault_events[:] = [
+                event
+                for event in self.runtime.fault_events
+                if event.tree not in recovered
+            ]
         return cleared
 
     def close(self) -> None:

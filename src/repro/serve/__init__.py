@@ -1,0 +1,57 @@
+"""Resilient serving layer over the why-not engine.
+
+The ROADMAP's production goal is a long-running service in front of
+the paper's algorithms.  This package is that front door, built around
+one principle: *the engine never sees load it cannot survive*.
+
+``protocol``
+    Request/response dataclasses and the response status taxonomy.
+``admission``
+    Bounded, deterministic admission queue with per-class depth limits
+    and round-robin fairness across sessions.
+``sessions``
+    Bounded LRU session registry; shares one Opt3
+    :class:`~repro.core.dominator_cache.DominatorCache` across a
+    user's refinement dialogue.
+``breakers``
+    Per-quarantine-unit circuit breakers over the engine's fault
+    events, with half-open probes through ``recover(only=...)``.
+``server``
+    The asyncio :class:`WhyNotServer` tying the above together, plus
+    deadline propagation into the storage retry loop.
+``bench``
+    The ``serve-bench`` load generator: thousands of simulated users
+    in virtual time over measured ``process_time`` service costs.
+"""
+
+from .admission import AdmissionQueue
+from .breakers import BreakerBoard, CircuitBreaker
+from .protocol import (
+    REQUEST_CLASSES,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    ServeRequest,
+    ServeResponse,
+)
+from .server import ServerConfig, WhyNotServer
+from .sessions import SessionRegistry
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "REQUEST_CLASSES",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_TIMEOUT",
+    "STATUS_REJECTED",
+    "STATUS_FAILED",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerConfig",
+    "SessionRegistry",
+    "WhyNotServer",
+]

@@ -1,0 +1,125 @@
+"""Bounded deterministic admission control.
+
+Overload policy is decided *here*, before any engine work happens: a
+request either gets a queue slot or an immediate ``rejected:
+overloaded`` response.  Nothing about the decision consults a clock or
+a random source — admission is a pure function of the sequence of
+``offer``/``take`` calls, which is what makes the overload tests and
+the serve bench replayable.
+
+Two properties the rest of the layer leans on:
+
+**Bounded memory.**  Each request class has a fixed depth limit; an
+``offer`` beyond the limit is refused without being stored.  Total
+retained entries never exceed ``sum(limits.values())`` regardless of
+how many requests are thrown at the queue (the 10k-burst property
+test pins this).
+
+**Session fairness.**  Entries are kept per session in FIFO order and
+``take`` round-robins across sessions, so one chatty session cannot
+monopolize the worker while other sessions starve: with ``S``
+non-empty sessions, each gets every ``S``-th slot.  Per-session order
+is preserved exactly (a session's requests never overtake each other),
+which the dialogue layer requires — a refinement dialogue's cache
+reuse assumes its own requests execute in submission order.
+
+The queue is deliberately *not* thread-safe: the server confines every
+call to the asyncio event-loop thread, keeping the executed request
+path free of queue mutation (see the flow checker's worker-read-only
+contract).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Mapping, Optional, Tuple
+
+from ..errors import InvalidParameterError
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Per-class bounded queue with round-robin session fairness."""
+
+    def __init__(self, limits: Mapping[str, int]) -> None:
+        if not limits:
+            raise InvalidParameterError("admission limits must not be empty")
+        for name, bound in limits.items():
+            if bound < 1:
+                raise InvalidParameterError(
+                    f"admission limit for {name!r} must be >= 1, got {bound}"
+                )
+        self.limits: Dict[str, int] = dict(limits)
+        self._depths: Dict[str, int] = {name: 0 for name in self.limits}
+        # session id -> FIFO of (request class, item); OrderedDict order
+        # is the round-robin rotation.
+        self._sessions: "OrderedDict[str, Deque[Tuple[str, Any]]]" = OrderedDict()
+        self._size = 0
+        self.offered = 0
+        self.accepted = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, request_class: str) -> int:
+        """Entries currently queued for one request class."""
+        try:
+            return self._depths[request_class]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown request class {request_class!r}; "
+                f"expected one of {tuple(self.limits)}"
+            ) from None
+
+    @property
+    def capacity(self) -> int:
+        """The hard memory bound: total entries the queue can retain."""
+        return sum(self.limits.values())
+
+    def offer(self, request_class: str, session: str, item: Any) -> bool:
+        """Admit ``item`` or shed it; returns whether it was admitted."""
+        depth = self.depth(request_class)  # validates the class
+        self.offered += 1
+        if depth >= self.limits[request_class]:
+            self.shed += 1
+            return False
+        bucket = self._sessions.get(session)
+        if bucket is None:
+            bucket = deque()
+            self._sessions[session] = bucket
+        bucket.append((request_class, item))
+        self._depths[request_class] = depth + 1
+        self._size += 1
+        self.accepted += 1
+        return True
+
+    def take(self) -> Optional[Any]:
+        """Pop the next item round-robin, or ``None`` when empty.
+
+        The front session yields its oldest entry and rotates to the
+        back of the session ring (or drops out when drained).
+        """
+        if not self._sessions:
+            return None
+        session, bucket = next(iter(self._sessions.items()))
+        request_class, item = bucket.popleft()
+        if bucket:
+            self._sessions.move_to_end(session)
+        else:
+            del self._sessions[session]
+        self._depths[request_class] -= 1
+        self._size -= 1
+        return item
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Health-endpoint view of the queue state."""
+        return {
+            "depths": dict(self._depths),
+            "limits": dict(self.limits),
+            "sessions_waiting": len(self._sessions),
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "shed": self.shed,
+        }

@@ -1,0 +1,189 @@
+"""Circuit breakers over the engine's quarantine events.
+
+The engine already *contains* storage faults: a quarantined index unit
+is served by the exact :class:`~repro.core.degraded.ScanFallback`
+(tile-scoped on sharded engines, so only the broken shard's partition
+degrades).  What the engine does not decide is *when to try coming
+back* — ``recover()`` rebuilds on demand, and rebuilding too eagerly
+replays the failure loop at full query cost.
+
+Breakers supply that policy with the classic three-state machine,
+clocked in **observed requests** rather than wall time so every chaos
+run replays identically:
+
+``closed``
+    Unit healthy.  A quarantine event trips the breaker to ``open``.
+``open``
+    Unit down; requests route around it via the fallback (the engine
+    does this on its own).  After ``cooldown`` observed requests the
+    breaker half-opens.
+``half_open``
+    The board probes: ``engine.recover(only=[unit])`` drops the broken
+    tree for lazy rebuild, and the *next* observed request exercises
+    it.  If the unit re-quarantines, the probe failed — back to
+    ``open`` with the cooldown doubled (capped); otherwise the breaker
+    closes and the cooldown resets.
+
+The board is driven from the server's control (event-loop) thread,
+once per completed request; the executed-request path never mutates
+breaker state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.engine import WhyNotEngine
+
+__all__ = ["BreakerBoard", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Three-state breaker for one quarantine unit."""
+
+    __slots__ = (
+        "unit",
+        "state",
+        "base_cooldown",
+        "max_cooldown",
+        "cooldown",
+        "remaining",
+        "trips",
+        "recoveries",
+    )
+
+    def __init__(
+        self, unit: str, base_cooldown: int = 8, max_cooldown: int = 64
+    ) -> None:
+        if base_cooldown < 1:
+            raise InvalidParameterError(
+                f"breaker cooldown must be >= 1, got {base_cooldown}"
+            )
+        if max_cooldown < base_cooldown:
+            raise InvalidParameterError(
+                "max cooldown must be >= base cooldown "
+                f"({max_cooldown} < {base_cooldown})"
+            )
+        self.unit = unit
+        self.state = CLOSED
+        self.base_cooldown = base_cooldown
+        self.max_cooldown = max_cooldown
+        self.cooldown = base_cooldown
+        self.remaining = 0
+        self.trips = 0
+        self.recoveries = 0
+
+    def trip(self) -> None:
+        """Quarantine observed: open (escalating after a failed probe)."""
+        if self.state == OPEN:
+            return
+        if self.state == HALF_OPEN:
+            # The probe request re-broke the unit — back off harder.
+            self.cooldown = min(self.cooldown * 2, self.max_cooldown)
+        self.state = OPEN
+        self.remaining = self.cooldown
+        self.trips += 1
+
+    def tick(self) -> bool:
+        """Count one observed request; True when the breaker half-opens."""
+        if self.state != OPEN:
+            return False
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.state = HALF_OPEN
+            return True
+        return False
+
+    def close(self) -> None:
+        """Probe survived: unit healthy again, cooldown forgiven."""
+        self.state = CLOSED
+        self.cooldown = self.base_cooldown
+        self.remaining = 0
+        self.recoveries += 1
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "cooldown": self.cooldown,
+            "remaining": self.remaining,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+        }
+
+
+class BreakerBoard:
+    """All breakers for one engine, driven by quarantine observations."""
+
+    def __init__(
+        self,
+        engine: "WhyNotEngine",
+        base_cooldown: int = 8,
+        max_cooldown: int = 64,
+    ) -> None:
+        self.engine = engine
+        self.base_cooldown = base_cooldown
+        self.max_cooldown = max_cooldown
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, unit: str) -> CircuitBreaker:
+        found = self._breakers.get(unit)
+        if found is None:
+            found = CircuitBreaker(
+                unit, self.base_cooldown, self.max_cooldown
+            )
+            self._breakers[unit] = found
+        return found
+
+    def observe(self) -> List[str]:
+        """Advance every breaker after one completed request.
+
+        Order matters and is deterministic (units sorted):
+
+        1. Half-open breakers are judged by the request that just ran:
+           unit re-quarantined → failed probe (escalated re-open);
+           still clean → close.
+        2. Fresh quarantine events trip their breakers.
+        3. Open breakers count the request; any that reach zero
+           half-open and probe via ``engine.recover(only=[unit])``.
+
+        Returns the units probed this round.
+        """
+        quarantined = set(self.engine.quarantined)
+        for unit in sorted(self._breakers):
+            breaker = self._breakers[unit]
+            if breaker.state == HALF_OPEN:
+                if unit in quarantined:
+                    breaker.trip()
+                else:
+                    breaker.close()
+        for unit in sorted(quarantined):
+            self.breaker(unit).trip()
+        probed: List[str] = []
+        for unit in sorted(self._breakers):
+            breaker = self._breakers[unit]
+            if breaker.tick():
+                self.engine.recover(only=[unit])
+                probed.append(unit)
+        return probed
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Health-endpoint view, keyed by unit name."""
+        return {
+            unit: self._breakers[unit].describe()
+            for unit in sorted(self._breakers)
+        }
+
+    @property
+    def open_units(self) -> List[str]:
+        return sorted(
+            unit
+            for unit, breaker in self._breakers.items()
+            if breaker.state != CLOSED
+        )

@@ -1,0 +1,136 @@
+"""Request/response contract of the serving layer.
+
+Two request classes exist — plain top-k lookups and why-not questions
+— because they have wildly different cost profiles (a why-not answer
+enumerates candidate keyword sets; a top-k is one index descent).  The
+admission queue bounds them separately so a burst of expensive why-not
+work cannot starve cheap lookups.
+
+Response statuses form a small, closed taxonomy:
+
+``ok``
+    Exact answer, on time.
+``degraded``
+    Exact answer computed by the quarantine fallback path (the engine
+    flags it); correct but produced while some index unit is down.
+``timeout``
+    The request's deadline expired before the answer finished.  The
+    answer that *was* computed is still attached — it is exact, just
+    late.
+``rejected``
+    Load-shedding: the admission queue was at its class bound.  The
+    request was never executed (``reason`` is ``"overloaded"``).
+``failed``
+    An unexpected error escaped the engine.  The server survives;
+    the response carries the error type in ``reason``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import InvalidParameterError
+from ..model.query import SpatialKeywordQuery, WhyNotQuestion
+
+__all__ = [
+    "REQUEST_CLASSES",
+    "CLASS_TOPK",
+    "CLASS_WHYNOT",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_TIMEOUT",
+    "STATUS_REJECTED",
+    "STATUS_FAILED",
+    "STATUSES",
+    "ServeRequest",
+    "ServeResponse",
+]
+
+CLASS_TOPK = "topk"
+CLASS_WHYNOT = "whynot"
+REQUEST_CLASSES: Tuple[str, ...] = (CLASS_TOPK, CLASS_WHYNOT)
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_TIMEOUT = "timeout"
+STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+STATUSES: Tuple[str, ...] = (
+    STATUS_OK,
+    STATUS_DEGRADED,
+    STATUS_TIMEOUT,
+    STATUS_REJECTED,
+    STATUS_FAILED,
+)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One admitted unit of work.
+
+    ``kind`` selects the request class; exactly one of ``query`` /
+    ``question`` must be set to match it.  ``budget_seconds`` is the
+    caller's deadline (``None`` falls back to the server's per-class
+    default); ``options`` flows into
+    :meth:`~repro.core.engine.WhyNotEngine.answer` untouched.
+    """
+
+    kind: str
+    session: str
+    seq: int
+    query: Optional[SpatialKeywordQuery] = None
+    question: Optional[WhyNotQuestion] = None
+    method: str = "kcr"
+    budget_seconds: Optional[float] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_CLASSES:
+            raise InvalidParameterError(
+                f"unknown request class {self.kind!r}; "
+                f"expected one of {REQUEST_CLASSES}"
+            )
+        if self.kind == CLASS_TOPK and self.query is None:
+            raise InvalidParameterError("a topk request needs a query")
+        if self.kind == CLASS_WHYNOT and self.question is None:
+            raise InvalidParameterError("a whynot request needs a question")
+        if self.budget_seconds is not None and self.budget_seconds < 0:
+            raise InvalidParameterError(
+                f"budget must be non-negative, got {self.budget_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The server's verdict on one request.
+
+    ``result`` is the engine's :class:`~repro.core.result.TopKOutcome`
+    or :class:`~repro.core.result.WhyNotAnswer` (``None`` for rejected
+    or failed requests).  ``busy_ms`` is the worker's
+    ``time.process_time`` cost — the makespan-discount currency, never
+    wall clock.
+    """
+
+    status: str
+    kind: str
+    session: str
+    seq: int
+    result: Any = None
+    reason: str = ""
+    busy_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise InvalidParameterError(
+                f"unknown status {self.status!r}; expected one of {STATUSES}"
+            )
+
+    @property
+    def accepted(self) -> bool:
+        return self.status != STATUS_REJECTED
+
+    @property
+    def exact(self) -> bool:
+        """Whether an exact answer is attached (possibly late/degraded)."""
+        return self.result is not None and self.status != STATUS_FAILED

@@ -1,0 +1,145 @@
+"""Bounded session registry with per-dialogue dominator-cache reuse.
+
+The paper's why-not interaction is a *dialogue*: a merchant asks why
+their listing missed the top-k, inspects the suggested keywords, and
+asks again with an adjusted ``k`` or ``λ``.  Every round of that
+dialogue shares the same (query location, α, missing objects) triple —
+exactly the parameters the Opt3 :class:`DominatorCache` depends on.
+Dominance of a cached object over the missing objects is independent
+of the *candidate keyword sets* being enumerated, so the dominators
+harvested by round one are legal prune evidence for round two.
+
+The registry therefore keys caches on
+``(loc.x, loc.y, α, missing oids, model name)`` and hands the same
+cache object back for every request in the dialogue.  A changed
+location, α, or missing set is a different key and gets a fresh cache
+— correctness never depends on the user behaving.
+
+Both bounds are LRU: at most ``capacity`` live sessions, each holding
+at most ``caches_per_session`` dialogue caches, so the registry's
+memory is fixed no matter how many distinct users hit the server.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..core.dominator_cache import DominatorCache
+from ..errors import InvalidParameterError, MissingObjectError
+from ..model.query import WhyNotQuestion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.engine import WhyNotEngine
+
+__all__ = ["SessionRegistry", "SessionState"]
+
+CacheKey = Tuple[float, float, float, Tuple[int, ...], str]
+
+
+class SessionState:
+    """Per-session bookkeeping: dialogue caches + counters."""
+
+    __slots__ = ("session_id", "caches", "requests", "cache_hits")
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        self.caches: "OrderedDict[CacheKey, DominatorCache]" = OrderedDict()
+        self.requests = 0
+        self.cache_hits = 0
+
+
+class SessionRegistry:
+    """LRU registry of sessions and their refinement-dialogue caches."""
+
+    def __init__(
+        self, capacity: int = 128, caches_per_session: int = 4
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"session capacity must be >= 1, got {capacity}"
+            )
+        if caches_per_session < 1:
+            raise InvalidParameterError(
+                f"caches per session must be >= 1, got {caches_per_session}"
+            )
+        self.capacity = capacity
+        self.caches_per_session = caches_per_session
+        self._sessions: "OrderedDict[str, SessionState]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: object) -> bool:
+        return session_id in self._sessions
+
+    def touch(self, session_id: str) -> SessionState:
+        """Fetch-or-create a session, bumping it to most recently used."""
+        state = self._sessions.get(session_id)
+        if state is None:
+            state = SessionState(session_id)
+            self._sessions[session_id] = state
+            while len(self._sessions) > self.capacity:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._sessions.move_to_end(session_id)
+        return state
+
+    @staticmethod
+    def _cache_key(
+        engine: "WhyNotEngine", question: WhyNotQuestion
+    ) -> CacheKey:
+        query = question.query
+        return (
+            query.loc[0],
+            query.loc[1],
+            query.alpha,
+            question.missing,
+            engine.model.name,
+        )
+
+    def dominator_cache(
+        self, session_id: str, engine: "WhyNotEngine", question: WhyNotQuestion
+    ) -> Optional[DominatorCache]:
+        """The dialogue cache for ``question``, shared across rounds.
+
+        Returns ``None`` when a missing oid cannot be resolved — the
+        engine will raise its own, better error during execution; the
+        session layer must not pre-empt it.
+        """
+        state = self.touch(session_id)
+        key = self._cache_key(engine, question)
+        cache = state.caches.get(key)
+        if cache is not None:
+            state.caches.move_to_end(key)
+            state.cache_hits += 1
+            return cache
+        try:
+            missing = tuple(
+                engine.dataset.get(oid) for oid in question.missing
+            )
+        except (MissingObjectError, KeyError):
+            return None
+        cache = DominatorCache(
+            engine.dataset, question.query, missing, engine.model
+        )
+        state.caches[key] = cache
+        while len(state.caches) > self.caches_per_session:
+            state.caches.popitem(last=False)
+        return cache
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Health-endpoint view: bounded sizes and hit counters."""
+        return {
+            "sessions": len(self._sessions),
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+            "cache_hits": sum(
+                state.cache_hits for state in self._sessions.values()
+            ),
+            "requests": sum(
+                state.requests for state in self._sessions.values()
+            ),
+        }

@@ -7,6 +7,7 @@ from .buffer_pool import (
     RETRY_LIMIT,
     BufferPool,
 )
+from .deadline import Deadline, current_deadline, deadline_scope
 from .faults import (
     FAULTS_ENV_VAR,
     FAULTS_SEED_ENV_VAR,
@@ -38,6 +39,9 @@ __all__ = [
     "DEFAULT_BUFFER_BYTES",
     "RETRY_LIMIT",
     "BACKOFF_SCHEDULE",
+    "Deadline",
+    "current_deadline",
+    "deadline_scope",
     "Pager",
     "PAGE_SIZE",
     "IOSnapshot",

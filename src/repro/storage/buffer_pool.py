@@ -38,6 +38,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Optional, TypeVar
 
 from ..errors import StorageError, TransientIOError
+from .deadline import current_deadline
 from .faults import FaultInjector
 from .pager import PAGE_SIZE, Pager
 from .stats import IOStatistics
@@ -230,6 +231,14 @@ class BufferPool:
         final transient escapes as-is — by then the fault is effectively
         terminal for this operation.  Non-transient storage errors
         (corruption, missing records) are never retried.
+
+        A request deadline (:func:`~repro.storage.deadline.current_deadline`)
+        bounds the loop from outside: once the budget is spent there is
+        no point finishing the backoff schedule for a request nobody is
+        waiting on, so the transient is re-raised immediately (counted
+        in ``stats.deadline_aborts``) and any remaining sleep is capped
+        at the budget left.  With no deadline installed the behaviour
+        is byte-identical to the pre-deadline retry loop.
         """
         attempt = 0
         while True:
@@ -239,10 +248,20 @@ class BufferPool:
                 attempt += 1
                 if attempt >= RETRY_LIMIT:
                     raise
+                deadline = current_deadline()
+                if deadline is not None and deadline.expired():
+                    self.stats.deadline_aborts += 1
+                    raise TransientIOError(
+                        f"deadline expired after {attempt} attempt(s); "
+                        "abandoning retry schedule"
+                    )
                 setattr(
                     self.stats, counter, getattr(self.stats, counter) + 1
                 )
-                time.sleep(BACKOFF_SCHEDULE[min(attempt - 1, len(BACKOFF_SCHEDULE) - 1)])
+                delay = BACKOFF_SCHEDULE[min(attempt - 1, len(BACKOFF_SCHEDULE) - 1)]
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining()))
+                time.sleep(delay)
 
     def _make_room(self, span: int) -> None:
         while self._used_pages + span > self.capacity_pages and self._frames:

@@ -32,6 +32,7 @@ class IOSnapshot:
     transient_faults: int = 0
     checksum_failures: int = 0
     lost_records: int = 0
+    deadline_aborts: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -44,6 +45,7 @@ class IOSnapshot:
             transient_faults=self.transient_faults - other.transient_faults,
             checksum_failures=self.checksum_failures - other.checksum_failures,
             lost_records=self.lost_records - other.lost_records,
+            deadline_aborts=self.deadline_aborts - other.deadline_aborts,
         )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
@@ -57,6 +59,7 @@ class IOSnapshot:
             transient_faults=self.transient_faults + other.transient_faults,
             checksum_failures=self.checksum_failures + other.checksum_failures,
             lost_records=self.lost_records + other.lost_records,
+            deadline_aborts=self.deadline_aborts + other.deadline_aborts,
         )
 
     @property
@@ -85,7 +88,10 @@ class IOStatistics:
     buffer-pool retry attempts after transient faults;
     ``transient_faults`` counts the transient errors the pager raised;
     ``checksum_failures`` counts reads that failed verification;
-    ``lost_records`` counts records that vanished from the disk.
+    ``lost_records`` counts records that vanished from the disk;
+    ``deadline_aborts`` counts retry loops cut short because the
+    governing request deadline (:mod:`repro.storage.deadline`) expired
+    before the schedule was exhausted.
     """
 
     page_reads: int = 0
@@ -97,6 +103,7 @@ class IOStatistics:
     transient_faults: int = 0
     checksum_failures: int = 0
     lost_records: int = 0
+    deadline_aborts: int = 0
 
     def snapshot(self) -> IOSnapshot:
         """Immutable copy of the counters (subtract pairs for deltas)."""
@@ -110,6 +117,7 @@ class IOStatistics:
             transient_faults=self.transient_faults,
             checksum_failures=self.checksum_failures,
             lost_records=self.lost_records,
+            deadline_aborts=self.deadline_aborts,
         )
 
     def reset(self) -> None:
@@ -123,6 +131,7 @@ class IOStatistics:
         self.transient_faults = 0
         self.checksum_failures = 0
         self.lost_records = 0
+        self.deadline_aborts = 0
 
     @property
     def total_ios(self) -> int:

@@ -1,0 +1,150 @@
+"""Property tests for the serving layer's deterministic core.
+
+Everything here runs at the admission/simulation level — no engine, no
+indexes — so hypothesis can afford thousands of examples:
+
+* **Determinism** — ``simulate_load`` is a pure function of its seed.
+* **Bounded shedding** — the queue never retains more than its
+  configured capacity, sheds exactly what exceeds a class bound, and
+  stays bounded under a 10k-request burst.
+* **Fairness** — per-session FIFO order survives any interleaving of
+  offers and takes, and round-robin never starves a waiting session.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import AdmissionQueue
+from repro.serve.bench import simulate_load
+
+SERVICE = {"topk": 1.5, "whynot": 6.0}
+
+
+class TestSimulationDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=400),
+        users=st.integers(min_value=1, max_value=50),
+        burst=st.booleans(),
+    )
+    def test_same_seed_replays_identically(self, seed, n, users, burst):
+        kwargs = dict(
+            n_requests=n, users=users, seed=seed, workers=3, burst=burst
+        )
+        assert simulate_load(SERVICE, **kwargs) == simulate_load(
+            SERVICE, **kwargs
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=1, max_value=400),
+    )
+    def test_conservation_and_bounds(self, seed, n):
+        limits = {"topk": 8, "whynot": 4}
+        report = simulate_load(
+            SERVICE,
+            n_requests=n,
+            users=7,
+            seed=seed,
+            workers=2,
+            limits=limits,
+            burst=True,
+        )
+        completed = sum(report["completed"].values())
+        shed = sum(report["shed"].values())
+        assert completed + shed == n
+        # Nothing admitted beyond capacity plus the workers that drain
+        # at the burst instant.
+        assert completed <= sum(limits.values()) + report["workers"]
+        for kind, latencies in (
+            ("topk", report["latencies_ms"]),
+            ("whynot", report["latencies_ms"]),
+        ):
+            assert all(value >= 0.0 for value in latencies)
+
+
+offers = st.lists(
+    st.tuples(
+        st.sampled_from(["alice", "bob", "carol"]),
+        st.sampled_from(["topk", "whynot"]),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestAdmissionProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(sequence=offers)
+    def test_sheds_strictly_above_bound(self, sequence):
+        limits = {"topk": 5, "whynot": 3}
+        queue = AdmissionQueue(limits)
+        admitted = {"topk": 0, "whynot": 0}
+        for session, kind in sequence:
+            if queue.offer(kind, session, (session, kind)):
+                admitted[kind] += 1
+            assert queue.depth(kind) <= limits[kind]
+        for kind, bound in limits.items():
+            offered = sum(1 for _, k in sequence if k == kind)
+            assert admitted[kind] == min(offered, bound)
+        assert len(queue) <= queue.capacity
+        assert queue.shed == len(sequence) - sum(admitted.values())
+
+    @settings(max_examples=200, deadline=None)
+    @given(sequence=offers, take_every=st.integers(min_value=1, max_value=5))
+    def test_per_session_fifo_under_interleaving(self, sequence, take_every):
+        queue = AdmissionQueue({"topk": 30, "whynot": 30})
+        accepted = {"alice": [], "bob": [], "carol": []}
+        taken = {"alice": [], "bob": [], "carol": []}
+        counter = 0
+        for step, (session, kind) in enumerate(sequence):
+            item = (session, counter)
+            if queue.offer(kind, session, item):
+                accepted[session].append(item)
+                counter += 1
+            if step % take_every == 0:
+                got = queue.take()
+                if got is not None:
+                    taken[got[0]].append(got)
+        while True:
+            got = queue.take()
+            if got is None:
+                break
+            taken[got[0]].append(got)
+        # Every admitted item comes back out, per session in FIFO order.
+        assert taken == accepted
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_memory_bounded_under_10k_burst(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        limits = {"topk": 16, "whynot": 4}
+        queue = AdmissionQueue(limits)
+        for i in range(10_000):
+            kind = "whynot" if rng.random() < 0.2 else "topk"
+            queue.offer(kind, f"user-{rng.randrange(64)}", i)
+        assert len(queue) <= queue.capacity == 20
+        assert queue.offered == 10_000
+        assert queue.accepted <= queue.capacity
+        assert queue.shed == queue.offered - queue.accepted
+        # Internal retention really is bounded: draining yields at most
+        # `capacity` items.
+        drained = 0
+        while queue.take() is not None:
+            drained += 1
+        assert drained <= 20
+
+    @settings(max_examples=100, deadline=None)
+    @given(sequence=offers)
+    def test_round_robin_no_starvation(self, sequence):
+        """With S waiting sessions, S consecutive takes hit S sessions."""
+        queue = AdmissionQueue({"topk": 30, "whynot": 30})
+        for session, kind in sequence:
+            queue.offer(kind, session, session)
+        waiting = queue.snapshot()["sessions_waiting"]
+        first_cycle = [queue.take() for _ in range(waiting)]
+        assert len(set(first_cycle)) == waiting

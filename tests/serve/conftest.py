@@ -1,0 +1,39 @@
+"""Fixtures for the serving-layer suite.
+
+The sharded engine is module-scoped (index builds dominate the cost);
+tests that quarantine shards build their own engine so the shared one
+never serves degraded state to an unrelated test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WhyNotEngine, make_euro_like
+from repro.experiments.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="package")
+def serve_dataset():
+    dataset, _ = make_euro_like(900, seed=13)
+    return dataset
+
+
+@pytest.fixture(scope="package")
+def serve_engine(serve_dataset):
+    """Shared clean engine; never quarantined by tests."""
+    return WhyNotEngine(serve_dataset, shards=4)
+
+
+@pytest.fixture(scope="package")
+def serve_cases(serve_dataset):
+    generator = WorkloadGenerator(serve_dataset, seed=11)
+    cases = generator.generate(3, k0=5, n_keywords=3, max_extra_keywords=3)
+    assert cases, "workload generator produced no cases"
+    return cases
+
+
+@pytest.fixture()
+def faulty_engine(serve_dataset):
+    """Fresh engine per test for quarantine/recovery walks."""
+    return WhyNotEngine(serve_dataset, shards=4)

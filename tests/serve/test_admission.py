@@ -1,0 +1,97 @@
+"""Unit tests for the bounded deterministic admission queue."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serve import AdmissionQueue
+
+
+def _queue(**limits):
+    return AdmissionQueue(limits or {"topk": 4, "whynot": 2})
+
+
+class TestValidation:
+    def test_empty_limits_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionQueue({})
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionQueue({"topk": 0})
+
+    def test_unknown_class_rejected_on_offer_and_depth(self):
+        queue = _queue()
+        with pytest.raises(InvalidParameterError):
+            queue.offer("mystery", "s", object())
+        with pytest.raises(InvalidParameterError):
+            queue.depth("mystery")
+
+
+class TestBounds:
+    def test_sheds_exactly_beyond_class_limit(self):
+        queue = _queue(topk=3)
+        outcomes = [queue.offer("topk", "s", i) for i in range(10)]
+        assert outcomes == [True] * 3 + [False] * 7
+        assert queue.depth("topk") == 3
+        assert queue.shed == 7
+        assert queue.accepted == 3
+        assert queue.offered == 10
+
+    def test_class_limits_are_independent(self):
+        queue = _queue(topk=1, whynot=1)
+        assert queue.offer("topk", "a", 1)
+        assert not queue.offer("topk", "a", 2)
+        assert queue.offer("whynot", "a", 3)  # other class unaffected
+        assert len(queue) == 2 == queue.capacity
+
+    def test_take_frees_a_slot(self):
+        queue = _queue(topk=1)
+        assert queue.offer("topk", "a", 1)
+        assert not queue.offer("topk", "a", 2)
+        assert queue.take() == 1
+        assert queue.offer("topk", "a", 3)
+
+    def test_take_on_empty_returns_none(self):
+        assert _queue().take() is None
+
+
+class TestFairness:
+    def test_round_robin_across_sessions(self):
+        queue = _queue(topk=6)
+        for item in ("a1", "a2", "a3"):
+            queue.offer("topk", "alice", item)
+        for item in ("b1", "b2"):
+            queue.offer("topk", "bob", item)
+        drained = [queue.take() for _ in range(5)]
+        assert drained == ["a1", "b1", "a2", "b2", "a3"]
+
+    def test_per_session_fifo_preserved(self):
+        queue = _queue(topk=8)
+        for item in range(4):
+            queue.offer("topk", "solo", item)
+        assert [queue.take() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_drained_session_leaves_rotation(self):
+        queue = _queue(topk=4)
+        queue.offer("topk", "a", "a1")
+        queue.offer("topk", "b", "b1")
+        queue.offer("topk", "b", "b2")
+        assert queue.take() == "a1"
+        assert queue.take() == "b1"
+        assert queue.take() == "b2"
+        assert queue.take() is None
+
+
+class TestSnapshot:
+    def test_snapshot_reports_counters_and_depths(self):
+        queue = _queue(topk=2, whynot=1)
+        queue.offer("topk", "a", 1)
+        queue.offer("whynot", "b", 2)
+        queue.offer("whynot", "b", 3)  # shed
+        snap = queue.snapshot()
+        assert snap["depths"] == {"topk": 1, "whynot": 1}
+        assert snap["limits"] == {"topk": 2, "whynot": 1}
+        assert snap["sessions_waiting"] == 2
+        assert snap["offered"] == 3
+        assert snap["accepted"] == 2
+        assert snap["shed"] == 1

@@ -1,0 +1,85 @@
+"""Virtual-time serve bench: determinism, overload arithmetic, dialogue."""
+
+from repro.serve.bench import probe_costs, run_dialogue, simulate_load
+
+SERVICE = {"topk": 2.0, "whynot": 9.0}
+
+
+class TestSimulateLoad:
+    def test_same_seed_same_report(self):
+        kwargs = dict(n_requests=600, users=40, seed=99, workers=4)
+        first = simulate_load(SERVICE, **kwargs)
+        second = simulate_load(SERVICE, **kwargs)
+        assert first == second
+
+    def test_different_seed_different_latencies(self):
+        first = simulate_load(SERVICE, n_requests=600, users=40, seed=1)
+        second = simulate_load(SERVICE, n_requests=600, users=40, seed=2)
+        assert first["latencies_ms"] != second["latencies_ms"]
+
+    def test_everything_accounted(self):
+        report = simulate_load(SERVICE, n_requests=500, users=30, seed=5)
+        completed = sum(report["completed"].values())
+        shed = sum(report["shed"].values())
+        assert completed + shed == 500
+
+    def test_burst_sheds_to_exact_class_limits(self):
+        limits = {"topk": 10, "whynot": 5}
+        report = simulate_load(
+            SERVICE,
+            n_requests=200,
+            users=20,
+            seed=7,
+            workers=2,
+            limits=limits,
+            burst=True,
+        )
+        # All requests arrive at one instant: per class the queue admits
+        # its limit plus what idle workers drain at t=0; everything else
+        # sheds.  Retained entries never exceed the configured bound.
+        for kind in ("topk", "whynot"):
+            assert report["completed"][kind] + report["shed"][kind] > 0
+            assert report["shed"][kind] > 0
+        admitted = sum(report["completed"].values())
+        assert admitted <= sum(limits.values()) + report["workers"]
+
+    def test_steady_light_load_sheds_nothing(self):
+        report = simulate_load(
+            SERVICE,
+            n_requests=300,
+            users=50,
+            seed=3,
+            workers=4,
+            load_factor=0.3,
+        )
+        assert report["shed"] == {"topk": 0, "whynot": 0}
+
+    def test_timeouts_flagged_under_tight_budget(self):
+        report = simulate_load(
+            SERVICE,
+            n_requests=400,
+            users=10,
+            seed=12,
+            workers=1,
+            load_factor=3.0,  # saturated: queueing delay dominates
+            budget_factor=1.0,  # budget == mean service, no slack
+        )
+        assert sum(report["timeouts"].values()) > 0
+
+
+class TestProbeAndDialogue:
+    def test_probe_costs_positive(self, serve_engine, serve_cases):
+        costs = probe_costs(serve_engine, serve_cases[:2], repetitions=1)
+        assert set(costs) == {"topk", "whynot"}
+        assert all(value >= 0.0 for value in costs.values())
+
+    def test_dialogue_cache_reuse_beats_fresh(self, serve_engine, serve_cases):
+        question = serve_cases[0].question
+        reused = run_dialogue(serve_engine, question, rounds=3)
+        fresh = run_dialogue(
+            serve_engine, question, rounds=3, reuse_cache=False
+        )
+        assert reused["cache_hits"] >= 2
+        assert fresh["cache_hits"] == 0
+        assert all(status == "ok" for status in reused["statuses"])
+        assert all(status == "ok" for status in fresh["statuses"])

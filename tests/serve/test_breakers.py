@@ -1,0 +1,104 @@
+"""Circuit-breaker state machine and board/engine interplay."""
+
+import pytest
+
+from repro import TransientIOError
+from repro.errors import InvalidParameterError
+from repro.serve import BreakerBoard, CircuitBreaker
+from repro.serve.breakers import CLOSED, HALF_OPEN, OPEN
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker("u", base_cooldown=0)
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker("u", base_cooldown=8, max_cooldown=4)
+
+    def test_trip_tick_close_walk(self):
+        breaker = CircuitBreaker("u", base_cooldown=2, max_cooldown=8)
+        assert breaker.state == CLOSED
+        breaker.trip()
+        assert breaker.state == OPEN
+        assert breaker.remaining == 2
+        assert not breaker.tick()  # 1 left
+        assert breaker.tick()  # half-opens
+        assert breaker.state == HALF_OPEN
+        breaker.close()
+        assert breaker.state == CLOSED
+        assert breaker.cooldown == 2
+        assert breaker.recoveries == 1
+
+    def test_trip_while_open_is_noop(self):
+        breaker = CircuitBreaker("u", base_cooldown=3, max_cooldown=8)
+        breaker.trip()
+        breaker.tick()
+        breaker.trip()
+        assert breaker.remaining == 2  # countdown not restarted
+        assert breaker.trips == 1
+
+    def test_failed_probe_doubles_cooldown_capped(self):
+        breaker = CircuitBreaker("u", base_cooldown=3, max_cooldown=10)
+        cooldowns = []
+        for _ in range(4):
+            breaker.trip()
+            while not breaker.tick():
+                pass
+            cooldowns.append(breaker.cooldown)
+        # First trip is from closed (no escalation); every later trip
+        # is a failed half-open probe and doubles, capped at 10.
+        assert cooldowns == [3, 6, 10, 10]
+
+    def test_close_forgives_escalation(self):
+        breaker = CircuitBreaker("u", base_cooldown=2, max_cooldown=16)
+        breaker.trip()
+        while not breaker.tick():
+            pass
+        breaker.trip()  # failed probe: cooldown 4
+        while not breaker.tick():
+            pass
+        breaker.close()
+        assert breaker.cooldown == 2
+
+    def test_tick_when_closed_is_noop(self):
+        breaker = CircuitBreaker("u")
+        assert not breaker.tick()
+        assert breaker.state == CLOSED
+
+
+class TestBreakerBoard:
+    def _quarantine(self, engine):
+        index = engine.sharded_index
+        shard = index.shards[1]
+        index.mark_down(
+            shard, "setr", "forced-outage", TransientIOError("forced")
+        )
+        return f"shard-{shard.tid}:setr"
+
+    def test_quarantine_trips_then_probe_recovers(self, faulty_engine):
+        board = BreakerBoard(faulty_engine, base_cooldown=3, max_cooldown=8)
+        unit = self._quarantine(faulty_engine)
+        # The trip round also counts as an observed request (tick).
+        assert board.observe() == []
+        assert board.snapshot()[unit]["state"] == OPEN
+        assert board.snapshot()[unit]["remaining"] == 2
+
+        assert board.observe() == []  # tick: 1 left
+        probed = board.observe()  # tick: half-open + probe
+        assert probed == [unit]
+        assert board.snapshot()[unit]["state"] == HALF_OPEN
+        # The probe's recover() cleared the manual quarantine, so the
+        # next observation closes the breaker.
+        assert unit not in faulty_engine.quarantined
+        board.observe()
+        assert board.snapshot()[unit]["state"] == CLOSED
+        assert board.open_units == []
+
+    def test_snapshot_sorted_and_describing(self, faulty_engine):
+        board = BreakerBoard(faulty_engine, base_cooldown=2, max_cooldown=8)
+        unit = self._quarantine(faulty_engine)
+        board.observe()
+        snap = board.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap[unit]["trips"] == 1
+        assert snap[unit]["cooldown"] == 2

@@ -1,0 +1,114 @@
+"""Deadline contract and its propagation into the buffer-pool retries."""
+
+import pytest
+
+from repro import BufferPool, FaultInjector, FaultSchedule, TransientIOError
+from repro.errors import InvalidParameterError
+from repro.storage import Deadline, current_deadline, deadline_scope
+from repro.storage.buffer_pool import RETRY_LIMIT
+
+
+class TestDeadline:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Deadline(-0.001)
+
+    def test_fresh_budget_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert 0.0 < deadline.remaining() <= 60.0
+
+    def test_zero_budget_expires_immediately(self):
+        assert Deadline(0.0).expired()
+
+    def test_at_wraps_absolute_instant(self):
+        past = Deadline.at(0.0)  # monotonic epoch: long gone
+        assert past.expired()
+        assert past.remaining() < 0.0
+
+
+class TestDeadlineScope:
+    def test_default_is_none(self):
+        assert current_deadline() is None
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline(5.0)
+        with deadline_scope(deadline) as installed:
+            assert installed is deadline
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_accepted(self):
+        with deadline_scope(None):
+            assert current_deadline() is None
+
+    def test_scopes_nest_inner_wins(self):
+        outer, inner = Deadline(5.0), Deadline(1.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(5.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+
+def _transient_pool(seed=7):
+    """A pool whose reads always fault transiently (until the cap)."""
+    schedule = FaultSchedule(
+        transient_read_rate=1.0, max_consecutive_transients=RETRY_LIMIT + 2
+    )
+    return BufferPool.create(faults=FaultInjector(schedule, seed=seed))
+
+
+class TestBufferPoolDeadline:
+    def test_expired_deadline_aborts_retry_schedule(self):
+        pool = _transient_pool()
+        rid = pool.pager.allocate("payload", 100)
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(TransientIOError, match="deadline expired"):
+                pool.fetch(rid)
+        # Aborted on the first re-attempt check: one abort accounted,
+        # no retries burned.
+        assert pool.stats.deadline_aborts == 1
+        assert pool.stats.read_retries == 0
+
+    def test_no_deadline_keeps_full_retry_schedule(self):
+        pool = _transient_pool()
+        rid = pool.pager.allocate("payload", 100)
+        with pytest.raises(TransientIOError):
+            pool.fetch(rid)
+        assert pool.stats.deadline_aborts == 0
+        assert pool.stats.read_retries == RETRY_LIMIT - 1
+
+    def test_generous_deadline_keeps_full_retry_schedule(self):
+        pool = _transient_pool()
+        rid = pool.pager.allocate("payload", 100)
+        with deadline_scope(Deadline(60.0)):
+            with pytest.raises(TransientIOError):
+                pool.fetch(rid)
+        assert pool.stats.deadline_aborts == 0
+        assert pool.stats.read_retries == RETRY_LIMIT - 1
+
+    def test_transients_absorbed_within_deadline(self):
+        # Default consecutive-transient cap (2) is inside the retry
+        # budget: the fetch succeeds and the deadline never fires.
+        schedule = FaultSchedule(transient_read_rate=1.0)
+        pool = BufferPool.create(faults=FaultInjector(schedule, seed=3))
+        rid = pool.pager.allocate("payload", 100)
+        with deadline_scope(Deadline(60.0)):
+            assert pool.fetch(rid) == "payload"
+        assert pool.stats.deadline_aborts == 0
+        assert pool.stats.read_retries == 2
+
+    def test_snapshot_carries_deadline_aborts(self):
+        pool = _transient_pool()
+        rid = pool.pager.allocate("payload", 100)
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(TransientIOError):
+                pool.fetch(rid)
+        snap = pool.stats.snapshot()
+        assert snap.deadline_aborts == 1
